@@ -1,0 +1,47 @@
+// Command ceereportd runs the suspect-core report service (§6's "simple
+// RPC service that allows an application to report a suspect core or CPU")
+// as a standalone HTTP server.
+//
+// Usage:
+//
+//	ceereportd -addr :8080 -cores-per-machine 64
+//
+// API:
+//
+//	POST /v1/report   {"machine":"m1","core":7,"kind":"app-error","time_sec":0}
+//	GET  /v1/suspects
+//	GET  /v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/report"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cores := flag.Int("cores-per-machine", 64, "cores per machine (concentration-test shape)")
+	flag.Parse()
+
+	if *cores <= 0 {
+		fmt.Fprintln(os.Stderr, "ceereportd: cores-per-machine must be positive")
+		os.Exit(2)
+	}
+	srv := report.NewServer(*cores)
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	log.Printf("ceereportd listening on %s (machines shaped %d cores)", *addr, *cores)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Command fleetsim regenerates the paper's figure and per-claim
+// experiments from the fleet simulator.
+//
+// Usage:
+//
+//	fleetsim -experiment F1          # one experiment (F1, E1..E14)
+//	fleetsim -experiment all         # everything, in order
+//	fleetsim -experiment all -scale full
+//
+// Output is the text tables recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (F1, E1..E14) or 'all'")
+	scale := flag.String("scale", "small", "small | full")
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scale {
+	case "small":
+		s = experiments.Small
+	case "full":
+		s = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "fleetsim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := []string{strings.ToUpper(*exp)}
+	if strings.EqualFold(*exp, "all") {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fleetsim: unknown experiment %q (have %v)\n",
+				id, experiments.IDs())
+			os.Exit(2)
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Print(run(s))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,145 @@
+// Command isarun assembles and executes programs on the cycle-level CPU
+// simulator, optionally with injected gate-level stuck-at faults — the §9
+// "cycle-level CPU simulator that allows injection of known CEE behavior".
+//
+// Usage:
+//
+//	isarun prog.s                        # run, print registers
+//	isarun -fault 7:carry:0 prog.s       # stuck-at-0 carry node at bit 7
+//	isarun -compare -fault 7:carry:0 prog.s   # run clean and faulty, diff
+//	echo 'movi r1, 2
+//	      add r2, r1, r1
+//	      halt' | isarun -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+func main() {
+	memWords := flag.Int("mem", 1024, "data memory size in words")
+	maxCycles := flag.Uint64("max-cycles", 10_000_000, "cycle budget")
+	faultSpec := flag.String("fault", "", "inject stuck-at fault: <bit>:<sum|carry>:<0|1>")
+	compare := flag.Bool("compare", false, "run both clean and faulty, report divergence")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: isarun [flags] <prog.s | ->")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "isarun:", err)
+		os.Exit(1)
+	}
+	words, err := isa.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "isarun:", err)
+		os.Exit(1)
+	}
+
+	var fault *cpu.StuckAt
+	if *faultSpec != "" {
+		f, err := parseFault(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isarun:", err)
+			os.Exit(2)
+		}
+		fault = &f
+	}
+
+	run := func(inject bool) (*cpu.CPU, error) {
+		c, err := cpu.New(words, *memWords)
+		if err != nil {
+			return nil, err
+		}
+		if inject && fault != nil {
+			if err := c.ALU.Inject(*fault); err != nil {
+				return nil, err
+			}
+		}
+		return c, c.Run(*maxCycles)
+	}
+
+	if *compare {
+		if fault == nil {
+			fmt.Fprintln(os.Stderr, "isarun: -compare needs -fault")
+			os.Exit(2)
+		}
+		clean, errClean := run(false)
+		faulty, errFaulty := run(true)
+		fmt.Printf("clean : %s\n", outcome(clean, errClean))
+		fmt.Printf("faulty: %s  (with %v)\n", outcome(faulty, errFaulty), *fault)
+		if errClean == nil && errFaulty == nil {
+			diff := 0
+			for i := range clean.Regs {
+				if clean.Regs[i] != faulty.Regs[i] {
+					fmt.Printf("  r%-2d diverges: %d vs %d\n", i, clean.Regs[i], faulty.Regs[i])
+					diff++
+				}
+			}
+			if diff == 0 {
+				fmt.Println("  no architectural divergence (fault was invisible on this input)")
+			}
+		}
+		return
+	}
+
+	c, err := run(true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "isarun: %v (after %d cycles)\n", err, c.Cycles)
+		os.Exit(1)
+	}
+	fmt.Println(outcome(c, nil))
+	for i, v := range c.Regs {
+		if v != 0 {
+			fmt.Printf("  r%-2d = %-22d %#x\n", i, v, v)
+		}
+	}
+}
+
+func outcome(c *cpu.CPU, err error) string {
+	if err != nil {
+		return fmt.Sprintf("trapped: %v", err)
+	}
+	return fmt.Sprintf("halted after %d cycles", c.Cycles)
+}
+
+func parseFault(s string) (cpu.StuckAt, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return cpu.StuckAt{}, fmt.Errorf("bad fault %q (want bit:node:value)", s)
+	}
+	bit, err := strconv.Atoi(parts[0])
+	if err != nil || bit < 0 || bit > 63 {
+		return cpu.StuckAt{}, fmt.Errorf("bad fault bit %q", parts[0])
+	}
+	var node cpu.Node
+	switch parts[1] {
+	case "sum":
+		node = cpu.NodeSum
+	case "carry":
+		node = cpu.NodeCarry
+	default:
+		return cpu.StuckAt{}, fmt.Errorf("bad fault node %q (sum|carry)", parts[1])
+	}
+	val, err := strconv.Atoi(parts[2])
+	if err != nil || val < 0 || val > 1 {
+		return cpu.StuckAt{}, fmt.Errorf("bad fault value %q", parts[2])
+	}
+	return cpu.StuckAt{Bit: uint(bit), Node: node, Value: uint(val)}, nil
+}

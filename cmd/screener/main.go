@@ -1,0 +1,100 @@
+// Command screener runs the self-checking corpus against a simulated
+// machine and prints per-core screening verdicts — the offline screening
+// flow of §6.
+//
+// Usage:
+//
+//	screener                              # 8 healthy cores, quick screen
+//	screener -cores 8 -defect 3:vec-copy-lane -deep
+//	screener -list                        # show defect classes and corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/screen"
+)
+
+func main() {
+	cores := flag.Int("cores", 8, "number of cores on the machine")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	defect := flag.String("defect", "", "inject defect: <coreIdx>:<class> (repeatable via comma)")
+	deep := flag.Bool("deep", false, "run the deep (f,V,T-sweep) screen instead of quick")
+	list := flag.Bool("list", false, "list defect classes and corpus workloads, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("defect classes:")
+		for _, c := range fault.Catalog {
+			fmt.Printf("  %-26s weight %.2f\n", c.Name, c.Weight)
+		}
+		fmt.Println("corpus workloads:")
+		for _, n := range corpus.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	var opts []core.Option
+	if *defect != "" {
+		for _, spec := range strings.Split(*defect, ",") {
+			parts := strings.SplitN(spec, ":", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "screener: bad -defect %q (want idx:class)\n", spec)
+				os.Exit(2)
+			}
+			idx, err := strconv.Atoi(parts[0])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "screener: bad core index in %q\n", spec)
+				os.Exit(2)
+			}
+			opts = append(opts, core.WithDefectClass(idx, parts[1]))
+		}
+	}
+	m, err := core.NewMachine("host0", *cores, *seed, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "screener:", err)
+		os.Exit(2)
+	}
+
+	// Show the staged ground truth so a "pass" on a cold defect reads as
+	// the §4 coverage problem, not as a healthy machine.
+	for i := 0; i < m.Cores(); i++ {
+		for _, d := range m.Core(i).Defects {
+			fmt.Printf("staged: core %d carries %v\n", i, &d)
+		}
+	}
+
+	cfg := screen.Quick()
+	kind := "quick"
+	if *deep {
+		cfg = screen.Deep()
+		kind = "deep"
+	}
+	fmt.Printf("screening %d cores (%s)\n", m.Cores(), kind)
+	reports := m.ScreenAll(cfg, *seed+100)
+	flagged := 0
+	for i, rep := range reports {
+		status := "pass"
+		detail := ""
+		if rep.Detected {
+			flagged++
+			status = "FLAGGED"
+			d := rep.Detections[0]
+			detail = fmt.Sprintf("  %s at f=%.1fGHz T=%.0fC: %s",
+				d.Result.Workload, d.Point.FreqGHz, d.Point.TempC, d.Result.Detail)
+		}
+		fmt.Printf("core %2d: %-8s ops=%-10d %s\n", i, status, rep.OpsUsed, detail)
+	}
+	fmt.Printf("%d/%d cores flagged\n", flagged, m.Cores())
+	if flagged > 0 {
+		os.Exit(1)
+	}
+}

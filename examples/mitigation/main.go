@@ -1,0 +1,152 @@
+// Mitigation demonstrates §7's software defenses on a machine with a
+// mercurial core: unprotected execution silently accepts wrong answers;
+// DMR catches disagreement and retries; TMR outvotes the bad core;
+// verified libraries refuse corrupt ciphertext; and checkpoint/restart
+// recovers a multi-step task on a different core.
+//
+//	go run ./examples/mitigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/mitigate"
+)
+
+func main() {
+	// Core 0 is mercurial: its crypto unit XORs one ciphertext bit at a
+	// high intermittent rate, and its ALU occasionally flips a bit.
+	m, err := core.NewMachine("host", 4, 11,
+		core.WithDefect(0, fault.Defect{
+			Unit: fault.UnitCrypto, BaseRate: 0.05,
+			Kind: fault.CorruptXORMask, Mask: 1 << 17,
+		}),
+		core.WithDefect(0, fault.Defect{
+			Unit: fault.UnitALU, BaseRate: 1e-3,
+			Kind: fault.CorruptBitFlip, BitPos: 5,
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The critical computation: encrypt a batch of blocks.
+	blocks := make([]uint64, 128)
+	for i := range blocks {
+		blocks[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	const key = 0xfeedfacecafebeef
+	comp := func(e *engine.Engine) []byte {
+		out := make([]byte, 0, len(blocks)*8)
+		for _, x := range blocks {
+			ct := e.CryptoEncrypt64(x, key)
+			for b := 0; b < 8; b++ {
+				out = append(out, byte(ct>>(8*uint(b))))
+			}
+		}
+		return out
+	}
+	golden := string(func() []byte {
+		out := make([]byte, 0, len(blocks)*8)
+		for _, x := range blocks {
+			ct := engine.GoldenCryptoEncrypt64(x, key)
+			for b := 0; b < 8; b++ {
+				out = append(out, byte(ct>>(8*uint(b))))
+			}
+		}
+		return out
+	}())
+
+	const trials = 40
+	x := m.Executor(3)
+
+	fmt.Println("== unprotected (runs on a random core) ==")
+	wrong := 0
+	for i := 0; i < trials; i++ {
+		out, _, err := x.Once(comp)
+		if err == nil && string(out) != golden {
+			wrong++
+		}
+	}
+	fmt.Printf("  %d/%d runs returned silently wrong ciphertext\n\n", wrong, trials)
+
+	fmt.Println("== DMR with retry on a different pair (§7) ==")
+	wrong, caught := 0, 0
+	for i := 0; i < trials; i++ {
+		out, st, err := x.DMR(comp, 3)
+		if err != nil {
+			caught++
+			continue
+		}
+		if st.Disagreements > 0 {
+			caught++
+		}
+		if string(out) != golden {
+			wrong++
+		}
+	}
+	fmt.Printf("  wrong results: %d; disagreements caught and resolved: %d (cost ~2x)\n\n", wrong, caught)
+
+	fmt.Println("== TMR with majority vote ==")
+	wrong, caught = 0, 0
+	for i := 0; i < trials; i++ {
+		out, st, err := x.TMR(comp)
+		if err != nil {
+			caught++
+			continue
+		}
+		if st.Disagreements > 0 {
+			caught++
+		}
+		if string(out) != golden {
+			wrong++
+		}
+	}
+	fmt.Printf("  wrong results: %d; bad replicas outvoted: %d (cost ~3x)\n\n", wrong, caught)
+
+	fmt.Println("== verified crypto library (§7 self-checking functions) ==")
+	v := m.Verifier(0, 1) // worst case: primary IS the bad core
+	refused := 0
+	for i := 0; i < trials; i++ {
+		if _, err := v.EncryptBlocks(blocks, key); err != nil {
+			refused++
+		}
+	}
+	fmt.Printf("  %d/%d calls refused corrupt ciphertext (never returned it)\n\n", refused, trials)
+
+	fmt.Println("== checkpoint/restart with invariant checks ==")
+	steps := []mitigate.Step{
+		{
+			Name: "aggregate",
+			Do: func(e *engine.Engine, state []byte) []byte {
+				var sum uint64
+				for i := uint64(1); i <= 10000; i++ {
+					sum = e.Add64(sum, i)
+				}
+				return []byte(fmt.Sprintf("%d", sum))
+			},
+			Check: func(s []byte) bool { return string(s) == "50005000" },
+		},
+		{
+			Name: "seal",
+			Do: func(e *engine.Engine, state []byte) []byte {
+				ct := e.CryptoEncrypt64(uint64(len(state)), key)
+				return append(state, []byte(fmt.Sprintf("/%x", ct))...)
+			},
+			Check: func(s []byte) bool { return len(s) > 9 },
+		},
+	}
+	recovered := 0
+	for i := 0; i < trials; i++ {
+		_, st, err := x.RunCheckpointed(steps, nil, 3)
+		if err != nil {
+			log.Fatalf("checkpointed task failed: %v", err)
+		}
+		recovered += st.Recoveries
+	}
+	fmt.Printf("  %d/%d tasks completed; %d step failures recovered on another core\n",
+		trials, trials, recovered)
+}

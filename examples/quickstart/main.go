@@ -1,0 +1,56 @@
+// Quickstart: stage a mercurial core, watch it silently corrupt a
+// computation, and catch it with the screening corpus.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/screen"
+)
+
+func main() {
+	// A 4-core machine; core 2 carries an intermittent ALU defect that
+	// flips bit 13 of roughly one in ten thousand results.
+	m, err := core.NewMachine("demo", 4, 1, core.WithDefect(2, fault.Defect{
+		Unit: fault.UnitALU, BaseRate: 1e-4,
+		Kind: fault.CorruptBitFlip, BitPos: 13,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same sum on every core. Three cores agree; one does not —
+	// and nothing crashes, nothing traps. That is a CEE.
+	fmt.Println("summing 1..1_000_000 on each core:")
+	for i := 0; i < m.Cores(); i++ {
+		e := m.Engine(i)
+		var sum uint64
+		for j := uint64(1); j <= 1_000_000; j++ {
+			sum = e.Add64(sum, j)
+		}
+		marker := ""
+		if sum != 500000500000 {
+			marker = "   <-- silent corruption"
+		}
+		fmt.Printf("  core %d: %d%s\n", i, sum, marker)
+	}
+
+	// Screening finds the culprit by checking results against expected
+	// values (§6): run the self-checking corpus on every core.
+	fmt.Println("\nscreening all cores with the self-checking corpus:")
+	for i, rep := range m.ScreenAll(screen.Quick(), 7) {
+		verdict := "pass"
+		if rep.Detected {
+			verdict = fmt.Sprintf("FLAGGED (%s: %s)",
+				rep.Detections[0].Result.Workload, rep.Detections[0].Result.Detail)
+		}
+		fmt.Printf("  core %d: %s\n", i, verdict)
+	}
+
+	fmt.Println("\nground truth:", m.MercurialCores(), "— the flagged core is the defective one")
+}

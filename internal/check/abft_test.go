@@ -1,0 +1,194 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+func TestABFTHealthyClean(t *testing.T) {
+	e := engine.New(fault.NewCore("h", xrand.New(1)))
+	rng := xrand.New(2)
+	for _, n := range []int{1, 2, 8, 16} {
+		a := randMatrix(rng, n)
+		b := randMatrix(rng, n)
+		c, rep, err := ABFTMatMul(e, a, b, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rep.Detected || rep.Corrected {
+			t.Fatalf("n=%d: healthy run reported %v", n, rep)
+		}
+		want := goldenMul(a, b, n)
+		for i := range c {
+			if c[i] != want[i] {
+				t.Fatalf("n=%d: cell %d wrong", n, i)
+			}
+		}
+	}
+}
+
+func TestABFTInputValidation(t *testing.T) {
+	e := engine.New(fault.NewCore("h", xrand.New(3)))
+	if _, _, err := ABFTMatMul(e, []uint64{1}, []uint64{1}, 2); err == nil {
+		t.Fatal("bad shapes accepted")
+	}
+	if _, _, err := ABFTMatMul(e, nil, nil, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+// lowRateMulEngine corrupts roughly one multiply in `per` through bit 33.
+func lowRateMulEngine(seed uint64, rate float64) *engine.Engine {
+	d := fault.Defect{ID: "d", Unit: fault.UnitMul, BaseRate: rate,
+		Kind: fault.CorruptBitFlip, BitPos: 33}
+	return engine.New(fault.NewCore("m", xrand.New(seed), d))
+}
+
+func TestABFTCorrectsSingleCellCorruption(t *testing.T) {
+	// Rate tuned so most runs see zero or one corrupted cell over the
+	// n^3-ish multiplies; verify every corrected run against golden.
+	rng := xrand.New(4)
+	n := 12
+	e := lowRateMulEngine(5, 3e-4)
+	corrected, uncorrectable, clean := 0, 0, 0
+	for trial := 0; trial < 300; trial++ {
+		a := randMatrix(rng, n)
+		b := randMatrix(rng, n)
+		c, rep, err := ABFTMatMul(e, a, b, n)
+		switch {
+		case errors.Is(err, ErrABFTUncorrectable):
+			uncorrectable++
+			continue
+		case err != nil:
+			t.Fatal(err)
+		}
+		want := goldenMul(a, b, n)
+		for i := range c {
+			if c[i] != want[i] {
+				t.Fatalf("trial %d: wrong product escaped ABFT (rep=%v)", trial, rep)
+			}
+		}
+		if rep.Corrected {
+			corrected++
+		} else {
+			clean++
+		}
+	}
+	if corrected == 0 {
+		t.Fatal("no corruption was ever corrected; defect too cold for the test")
+	}
+	if clean == 0 {
+		t.Fatal("every run was corrupted; rate too hot to test the clean path")
+	}
+	t.Logf("clean=%d corrected=%d uncorrectable=%d", clean, corrected, uncorrectable)
+}
+
+func TestABFTUncorrectableDetected(t *testing.T) {
+	// A deterministic defect corrupts *every* multiply: vastly more than
+	// one bad cell. ABFT must refuse rather than emit garbage.
+	d := fault.Defect{ID: "d", Unit: fault.UnitMul, Deterministic: true,
+		Kind: fault.CorruptOffByOne, Delta: 1}
+	e := engine.New(fault.NewCore("m", xrand.New(6), d))
+	rng := xrand.New(7)
+	n := 8
+	a := randMatrix(rng, n)
+	b := randMatrix(rng, n)
+	_, rep, err := ABFTMatMul(e, a, b, n)
+	if !errors.Is(err, ErrABFTUncorrectable) {
+		t.Fatalf("err = %v", err)
+	}
+	if !rep.Detected {
+		t.Fatal("report does not flag detection")
+	}
+	if !strings.Contains(rep.String(), "uncorrectable") {
+		t.Fatalf("report string %q", rep.String())
+	}
+}
+
+func TestABFTCorrectsChecksumCellCorruption(t *testing.T) {
+	// Corrupt a checksum cell directly in the augmented product: a bad
+	// row-checksum shows one bad row and zero bad columns.
+	n := 6
+	rng := xrand.New(8)
+	a := randMatrix(rng, n)
+	b := randMatrix(rng, n)
+	ac := augmentRows(a, n)
+	br := augmentCols(b, n)
+	healthy := engine.New(fault.NewCore("h", xrand.New(9)))
+	full := mulAugmented(healthy, ac, br, n)
+	cols := n + 1
+
+	full[2*cols+n] ^= 1 << 7 // row-2 checksum cell
+	rep, err := verifyAndCorrect(full, n)
+	if err != nil || !rep.Corrected || rep.Row != 2 || rep.Col != n {
+		t.Fatalf("row-checksum correction: rep=%v err=%v", rep, err)
+	}
+
+	full[n*cols+4] ^= 1 << 9 // column-4 checksum cell
+	rep, err = verifyAndCorrect(full, n)
+	if err != nil || !rep.Corrected || rep.Row != n || rep.Col != 4 {
+		t.Fatalf("col-checksum correction: rep=%v err=%v", rep, err)
+	}
+}
+
+func TestABFTReportStrings(t *testing.T) {
+	if s := (ABFTReport{}).String(); !strings.Contains(s, "clean") {
+		t.Fatalf("clean string %q", s)
+	}
+	if s := (ABFTReport{Detected: true, Corrected: true, Row: 1, Col: 2}).String(); !strings.Contains(s, "(1,2)") {
+		t.Fatalf("corrected string %q", s)
+	}
+}
+
+func TestABFTOverheadSmall(t *testing.T) {
+	// The arithmetic overhead of checksum augmentation is (n+1)^2/n^2.
+	n := 16
+	rng := xrand.New(10)
+	a := randMatrix(rng, n)
+	b := randMatrix(rng, n)
+
+	plain := engine.New(fault.NewCore("p", xrand.New(11)))
+	MulMatricesOps := func(e *engine.Engine) uint64 {
+		before := e.Core().TotalOps()
+		mulAugmented(e, augmentRows(a, n), augmentCols(b, n), n)
+		return e.Core().TotalOps() - before
+	}
+	abftOps := MulMatricesOps(plain)
+
+	plain2 := engine.New(fault.NewCore("q", xrand.New(12)))
+	before := plain2.Core().TotalOps()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc uint64
+			for k := 0; k < n; k++ {
+				acc = plain2.Add64(acc, plain2.Mul64(a[i*n+k], b[k*n+j]))
+			}
+			_ = acc
+		}
+	}
+	plainOps := plain2.Core().TotalOps() - before
+
+	ratio := float64(abftOps) / float64(plainOps)
+	want := float64((n+1)*(n+1)) / float64(n*n)
+	if ratio < want*0.95 || ratio > want*1.05 {
+		t.Fatalf("overhead ratio %v, want ~%v", ratio, want)
+	}
+}
+
+func BenchmarkABFTMatMul(b *testing.B) {
+	e := engine.New(fault.NewCore("h", xrand.New(1)))
+	rng := xrand.New(2)
+	n := 16
+	am := randMatrix(rng, n)
+	bm := randMatrix(rng, n)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ABFTMatMul(e, am, bm, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

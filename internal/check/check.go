@@ -1,0 +1,191 @@
+// Package check implements Blum–Kannan-style result checkers (§3, §7, §9):
+// programs that verify a computation's output far more cheaply than
+// recomputing it. The paper cites these as one of the few ways to detect
+// computational errors without the factor-of-two cost of full duplication,
+// and asks (§9) whether the class of SDC-resilient algorithms can be
+// extended; this package provides checkers for matrix multiplication
+// (Freivalds' algorithm), sorting, and binary search, plus checked
+// execution wrappers that retry on a different core when a check fails.
+package check
+
+import (
+	"errors"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+// ErrUncorrectable reports that checked execution ran out of retries.
+var ErrUncorrectable = errors.New("check: retries exhausted")
+
+// Freivalds verifies c == a*b for n×n row-major matrices in O(rounds·n²)
+// using random ±{0,1} probe vectors: if c is wrong, each round catches it
+// with probability >= 1/2, so `rounds` rounds miss with probability
+// <= 2^-rounds. The probe arithmetic runs natively: the checker is assumed
+// to execute on reliable hardware (or is itself replicated).
+func Freivalds(a, b, c []uint64, n int, rounds int, rng *xrand.RNG) bool {
+	if rounds < 1 {
+		rounds = 1
+	}
+	r := make([]uint64, n)
+	br := make([]uint64, n)
+	abr := make([]uint64, n)
+	cr := make([]uint64, n)
+	for round := 0; round < rounds; round++ {
+		for i := range r {
+			r[i] = rng.Uint64() & 1
+		}
+		// br = B·r
+		for i := 0; i < n; i++ {
+			var s uint64
+			row := b[i*n : (i+1)*n]
+			for j, rv := range r {
+				if rv != 0 {
+					s += row[j]
+				}
+			}
+			br[i] = s
+		}
+		// abr = A·(B·r), cr = C·r
+		for i := 0; i < n; i++ {
+			var s1, s2 uint64
+			arow := a[i*n : (i+1)*n]
+			crow := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				s1 += arow[j] * br[j]
+				if r[j] != 0 {
+					s2 += crow[j]
+				}
+			}
+			abr[i] = s1
+			cr[i] = s2
+		}
+		for i := 0; i < n; i++ {
+			if abr[i] != cr[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckedMatMul multiplies a×b on the engine and verifies with Freivalds;
+// on failure it retries on the next engine in pool. It returns the product
+// and the number of executions (1 = no corruption observed).
+func CheckedMatMul(pool []*engine.Engine, a, b []uint64, n, rounds int, rng *xrand.RNG) ([]uint64, int, error) {
+	if len(pool) == 0 {
+		return nil, 0, errors.New("check: empty engine pool")
+	}
+	for i, e := range pool {
+		c := corpus.MulMatrices(e, a, b, n)
+		if Freivalds(a, b, c, n, rounds, rng) {
+			return c, i + 1, nil
+		}
+	}
+	return nil, len(pool), ErrUncorrectable
+}
+
+// CertifySorted checks that got is sorted and is a permutation of orig —
+// the sort certifier. O(n) time with an O(n) multiset fingerprint.
+func CertifySorted(orig, got []uint64) bool {
+	if len(orig) != len(got) {
+		return false
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			return false
+		}
+	}
+	// Multiset equality via two independent fingerprints over a random-
+	// oracle-style mix. Collisions require engineered inputs, which the
+	// fault model does not produce.
+	var sumO, sumG, mixO, mixG uint64
+	for _, v := range orig {
+		sumO += v
+		mixO += mix(v)
+	}
+	for _, v := range got {
+		sumG += v
+		mixG += mix(v)
+	}
+	return sumO == sumG && mixO == mixG
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ x>>33
+}
+
+// CheckedSort sorts xs on the engine, certifies the result, and retries on
+// the next engine on failure — the SDC-resilient sort of §9's research
+// agenda. The input is not modified on failure. Returns the sorted slice
+// and the number of attempts.
+func CheckedSort(pool []*engine.Engine, xs []uint64) ([]uint64, int, error) {
+	if len(pool) == 0 {
+		return nil, 0, errors.New("check: empty engine pool")
+	}
+	for i, e := range pool {
+		work := append([]uint64(nil), xs...)
+		attemptSort(e, work)
+		if CertifySorted(xs, work) {
+			return work, i + 1, nil
+		}
+	}
+	return nil, len(pool), ErrUncorrectable
+}
+
+// attemptSort contains panics from corrupted compares (out-of-range scans)
+// so a crashing attempt counts as a failed attempt, not a crashed caller.
+func attemptSort(e *engine.Engine, work []uint64) {
+	defer func() { recover() }() //nolint:errcheck // crash == failed attempt
+	corpus.SortSlice(e, work)
+}
+
+// CheckedSearch performs binary search for target on the engine and
+// verifies the answer natively: a claimed hit must match, and a claimed
+// miss is re-verified with a native search. Binary search is its own
+// cheapest checker for hits; misses cost O(log n) to confirm.
+func CheckedSearch(e *engine.Engine, xs []uint64, target uint64) (int, bool) {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.Less64(xs[mid], target) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	found := lo < len(xs) && xs[lo] == target // native verification of hit
+	if !found {
+		// Verify the miss natively.
+		lo2, hi2 := 0, len(xs)
+		for lo2 < hi2 {
+			mid := int(uint(lo2+hi2) >> 1)
+			if xs[mid] < target {
+				lo2 = mid + 1
+			} else {
+				hi2 = mid
+			}
+		}
+		if lo2 < len(xs) && xs[lo2] == target {
+			return lo2, true // engine lied; native result wins
+		}
+		return lo, false
+	}
+	return lo, true
+}
+
+// FaultyPool builds a pool of engines over the given cores — a convenience
+// for checked execution across a machine's cores.
+func FaultyPool(cores []*fault.Core) []*engine.Engine {
+	out := make([]*engine.Engine, len(cores))
+	for i, c := range cores {
+		out[i] = engine.New(c)
+	}
+	return out
+}

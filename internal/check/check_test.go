@@ -1,0 +1,306 @@
+package check
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+func randMatrix(rng *xrand.RNG, n int) []uint64 {
+	m := make([]uint64, n*n)
+	for i := range m {
+		m[i] = rng.Uint64()
+	}
+	return m
+}
+
+func goldenMul(a, b []uint64, n int) []uint64 {
+	c := make([]uint64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s uint64
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func TestFreivaldsAcceptsCorrectProduct(t *testing.T) {
+	rng := xrand.New(1)
+	for _, n := range []int{1, 2, 8, 16} {
+		a := randMatrix(rng, n)
+		b := randMatrix(rng, n)
+		c := goldenMul(a, b, n)
+		if !Freivalds(a, b, c, n, 10, rng) {
+			t.Fatalf("n=%d: correct product rejected", n)
+		}
+	}
+}
+
+func TestFreivaldsRejectsCorruptedProduct(t *testing.T) {
+	rng := xrand.New(2)
+	n := 16
+	a := randMatrix(rng, n)
+	b := randMatrix(rng, n)
+	c := goldenMul(a, b, n)
+	// Corrupt one cell; with 20 rounds the miss probability is ~1e-6.
+	c[5*n+7] ^= 1 << 13
+	if Freivalds(a, b, c, n, 20, rng) {
+		t.Fatal("corrupted product accepted")
+	}
+}
+
+func TestFreivaldsDetectionProbability(t *testing.T) {
+	// One round must catch a single corrupted cell roughly half the time
+	// or better.
+	rng := xrand.New(3)
+	n := 8
+	caught := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := randMatrix(rng, n)
+		b := randMatrix(rng, n)
+		c := goldenMul(a, b, n)
+		c[rng.Intn(n*n)] += 1 + rng.Uint64n(1000)
+		if !Freivalds(a, b, c, n, 1, rng) {
+			caught++
+		}
+	}
+	if caught < trials*4/10 {
+		t.Fatalf("one-round detection rate %d/%d, want >= 40%%", caught, trials)
+	}
+}
+
+func TestFreivaldsMinimumRounds(t *testing.T) {
+	rng := xrand.New(4)
+	n := 4
+	a := randMatrix(rng, n)
+	b := randMatrix(rng, n)
+	c := goldenMul(a, b, n)
+	if !Freivalds(a, b, c, n, 0, rng) { // clamps to 1 round
+		t.Fatal("rounds=0 rejected a correct product")
+	}
+}
+
+func TestCheckedMatMulHealthy(t *testing.T) {
+	rng := xrand.New(5)
+	pool := FaultyPool([]*fault.Core{fault.NewCore("h", xrand.New(6))})
+	n := 8
+	a := randMatrix(rng, n)
+	b := randMatrix(rng, n)
+	c, attempts, err := CheckedMatMul(pool, a, b, n, 10, rng)
+	if err != nil || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+	want := goldenMul(a, b, n)
+	for i := range c {
+		if c[i] != want[i] {
+			t.Fatal("wrong product accepted")
+		}
+	}
+}
+
+func TestCheckedMatMulRecoversFromBadCore(t *testing.T) {
+	rng := xrand.New(7)
+	bad := fault.NewCore("bad", xrand.New(8), fault.Defect{
+		ID: "d", Unit: fault.UnitMul, Deterministic: true,
+		Kind: fault.CorruptOffByOne, Delta: 3})
+	good := fault.NewCore("good", xrand.New(9))
+	pool := FaultyPool([]*fault.Core{bad, good})
+	n := 8
+	a := randMatrix(rng, n)
+	b := randMatrix(rng, n)
+	c, attempts, err := CheckedMatMul(pool, a, b, n, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	want := goldenMul(a, b, n)
+	for i := range c {
+		if c[i] != want[i] {
+			t.Fatal("wrong product survived checking")
+		}
+	}
+}
+
+func TestCheckedMatMulAllBad(t *testing.T) {
+	rng := xrand.New(10)
+	mk := func(id string, seed uint64) *fault.Core {
+		return fault.NewCore(id, xrand.New(seed), fault.Defect{
+			ID: "d", Unit: fault.UnitMul, Deterministic: true,
+			Kind: fault.CorruptOffByOne, Delta: 1})
+	}
+	pool := FaultyPool([]*fault.Core{mk("b1", 11), mk("b2", 12)})
+	n := 4
+	a := randMatrix(rng, n)
+	b := randMatrix(rng, n)
+	_, attempts, err := CheckedMatMul(pool, a, b, n, 15, rng)
+	if !errors.Is(err, ErrUncorrectable) || attempts != 2 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+}
+
+func TestCheckedMatMulEmptyPool(t *testing.T) {
+	rng := xrand.New(13)
+	if _, _, err := CheckedMatMul(nil, nil, nil, 0, 1, rng); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+func TestCertifySorted(t *testing.T) {
+	orig := []uint64{3, 1, 2}
+	if !CertifySorted(orig, []uint64{1, 2, 3}) {
+		t.Fatal("valid sort rejected")
+	}
+	if CertifySorted(orig, []uint64{1, 3, 2}) {
+		t.Fatal("misordered output accepted")
+	}
+	if CertifySorted(orig, []uint64{1, 2, 4}) {
+		t.Fatal("content change accepted")
+	}
+	if CertifySorted(orig, []uint64{1, 2}) {
+		t.Fatal("length change accepted")
+	}
+	if !CertifySorted(nil, nil) {
+		t.Fatal("empty sort rejected")
+	}
+	// Duplicate handling: dropping one copy of a dup and adding another
+	// value with the same sum must be caught by the second fingerprint.
+	if CertifySorted([]uint64{5, 5, 2}, []uint64{2, 4, 6}) {
+		t.Fatal("sum-preserving substitution accepted")
+	}
+}
+
+func TestQuickCertifySortedAgainstStdlib(t *testing.T) {
+	f := func(xs []uint64) bool {
+		got := append([]uint64(nil), xs...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		return CertifySorted(xs, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckedSortHealthy(t *testing.T) {
+	pool := FaultyPool([]*fault.Core{fault.NewCore("h", xrand.New(14))})
+	rng := xrand.New(15)
+	xs := make([]uint64, 500)
+	for i := range xs {
+		xs[i] = rng.Uint64n(1000)
+	}
+	got, attempts, err := CheckedSort(pool, xs)
+	if err != nil || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+	if !CertifySorted(xs, got) {
+		t.Fatal("result not certified")
+	}
+}
+
+func TestCheckedSortRecoversFromCorruptCompares(t *testing.T) {
+	bad := fault.NewCore("bad", xrand.New(16), fault.Defect{
+		ID: "d", Unit: fault.UnitALU, BaseRate: 0.02,
+		Kind: fault.CorruptBitFlip, BitPos: 0})
+	good := fault.NewCore("good", xrand.New(17))
+	pool := FaultyPool([]*fault.Core{bad, good})
+	rng := xrand.New(18)
+	xs := make([]uint64, 300)
+	for i := range xs {
+		xs[i] = rng.Uint64()
+	}
+	got, attempts, err := CheckedSort(pool, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (bad core first)", attempts)
+	}
+	if !CertifySorted(xs, got) {
+		t.Fatal("result not certified")
+	}
+}
+
+func TestCheckedSortEmptyPool(t *testing.T) {
+	if _, _, err := CheckedSort(nil, []uint64{1}); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+func TestCheckedSearchHealthy(t *testing.T) {
+	e := engine.New(fault.NewCore("h", xrand.New(19)))
+	xs := []uint64{2, 4, 6, 8, 10}
+	for i, v := range xs {
+		idx, ok := CheckedSearch(e, xs, v)
+		if !ok || idx != i {
+			t.Fatalf("search %d: idx=%d ok=%v", v, idx, ok)
+		}
+	}
+	if _, ok := CheckedSearch(e, xs, 5); ok {
+		t.Fatal("found a missing element")
+	}
+	if _, ok := CheckedSearch(e, nil, 1); ok {
+		t.Fatal("found in empty slice")
+	}
+}
+
+func TestCheckedSearchSurvivesCorruptCompares(t *testing.T) {
+	bad := engine.New(fault.NewCore("bad", xrand.New(20), fault.Defect{
+		ID: "d", Unit: fault.UnitALU, BaseRate: 0.3,
+		Kind: fault.CorruptBitFlip, BitPos: 0}))
+	rng := xrand.New(21)
+	xs := make([]uint64, 128)
+	for i := range xs {
+		xs[i] = uint64(i * 3)
+	}
+	for trial := 0; trial < 200; trial++ {
+		target := uint64(rng.Intn(128) * 3)
+		idx, ok := CheckedSearch(bad, xs, target)
+		if !ok {
+			t.Fatalf("present element %d reported missing", target)
+		}
+		if xs[idx] != target {
+			t.Fatalf("wrong hit index %d for %d", idx, target)
+		}
+		missing := target + 1
+		if _, ok := CheckedSearch(bad, xs, missing); ok {
+			t.Fatalf("missing element %d reported present", missing)
+		}
+	}
+}
+
+func TestFaultyPool(t *testing.T) {
+	cores := []*fault.Core{fault.NewCore("a", xrand.New(22)), fault.NewCore("b", xrand.New(23))}
+	pool := FaultyPool(cores)
+	if len(pool) != 2 || pool[0].Core() != cores[0] || pool[1].Core() != cores[1] {
+		t.Fatal("pool wiring wrong")
+	}
+}
+
+func BenchmarkFreivaldsVsRecompute(b *testing.B) {
+	rng := xrand.New(1)
+	n := 64
+	a := randMatrix(rng, n)
+	bm := randMatrix(rng, n)
+	c := goldenMul(a, bm, n)
+	b.Run("freivalds-5rounds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Freivalds(a, bm, c, n, 5, rng)
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			goldenMul(a, bm, n)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package core is the top-level façade of the mercurial-cores toolkit —
+// the reproduction of "Cores that don't count" (HotOS '21). It bundles the
+// lower-level packages into the API an application or operator would use:
+//
+//   - Machine: a multi-core host whose cores may carry injected defects;
+//     per-core execution engines run real workloads with CEE semantics.
+//   - Screening, confession testing, and quarantine glue (see packages
+//     screen, detect, quarantine for the mechanisms).
+//   - Mitigated execution: DMR/TMR/checkpointed runs over a machine's
+//     cores (package mitigate) and verified critical-function libraries
+//     (package selfcheck).
+//   - Fleet simulation for the paper's fleet-scale statistics (package
+//     fleet).
+//
+// A three-line taste:
+//
+//	m := core.NewMachine("host0", 4, 42, core.WithDefectClass(2, "crypto-self-inverting"))
+//	rep := m.ScreenCore(2, screen.Deep(), 1)
+//	fmt.Println(rep.Detected) // true: the corpus extracted a confession
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/mitigate"
+	"repro/internal/screen"
+	"repro/internal/selfcheck"
+	"repro/internal/xrand"
+)
+
+// Machine is a multi-core host for single-machine experiments: each core
+// is a fault-model core with its own execution engine.
+type Machine struct {
+	ID    string
+	cores []*fault.Core
+}
+
+// Option configures a Machine under construction.
+type Option func(*machineConfig) error
+
+type machineConfig struct {
+	defects map[int][]fault.Defect
+}
+
+// WithDefect places a concrete defect on core index idx.
+func WithDefect(idx int, d fault.Defect) Option {
+	return func(c *machineConfig) error {
+		c.defects[idx] = append(c.defects[idx], d)
+		return nil
+	}
+}
+
+// WithDefectClass places a defect sampled from the named catalog class
+// (see fault.Catalog) on core index idx.
+func WithDefectClass(idx int, class string) Option {
+	return func(c *machineConfig) error {
+		spec, err := fault.ClassByName(class)
+		if err != nil {
+			return err
+		}
+		// The sampling RNG is derived later, at construction, so the
+		// machine seed fully determines the defect.
+		c.defects[idx] = append(c.defects[idx], fault.Defect{Class: "pending:" + spec.Name})
+		return nil
+	}
+}
+
+// NewMachine builds a machine with n cores. Core defects are attached via
+// options; everything is deterministic given seed.
+func NewMachine(id string, n int, seed uint64, opts ...Option) (*Machine, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: machine needs at least one core")
+	}
+	cfg := &machineConfig{defects: map[int][]fault.Defect{}}
+	for _, o := range opts {
+		if err := o(cfg); err != nil {
+			return nil, err
+		}
+	}
+	for idx := range cfg.defects {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("core: defect on non-existent core %d", idx)
+		}
+	}
+	rng := xrand.New(seed)
+	m := &Machine{ID: id}
+	for i := 0; i < n; i++ {
+		var ds []fault.Defect
+		for _, d := range cfg.defects[i] {
+			if len(d.Class) > 8 && d.Class[:8] == "pending:" {
+				class := d.Class[8:]
+				spec, err := fault.ClassByName(class)
+				if err != nil {
+					return nil, err
+				}
+				ds = append(ds, spec.Sample(fmt.Sprintf("%s-c%d-%s", id, i, class), rng.ForkString(class)))
+			} else {
+				if d.ID == "" {
+					d.ID = fmt.Sprintf("%s-c%d", id, i)
+				}
+				ds = append(ds, d)
+			}
+		}
+		m.cores = append(m.cores, fault.NewCore(fmt.Sprintf("%s/c%d", id, i), rng, ds...))
+	}
+	return m, nil
+}
+
+// MustMachine is NewMachine that panics on error — for examples and tests.
+func MustMachine(id string, n int, seed uint64, opts ...Option) *Machine {
+	m, err := NewMachine(id, n, seed, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cores returns the number of cores.
+func (m *Machine) Cores() int { return len(m.cores) }
+
+// Core returns the fault-model core at idx.
+func (m *Machine) Core(idx int) *fault.Core { return m.cores[idx] }
+
+// Engine returns a fresh execution engine bound to core idx. Engines are
+// cheap; create one per logical task.
+func (m *Machine) Engine(idx int) *engine.Engine { return engine.New(m.cores[idx]) }
+
+// MercurialCores returns the indices of cores whose defects are active at
+// the cores' current ages — ground truth for experiments.
+func (m *Machine) MercurialCores() []int {
+	var out []int
+	for i, c := range m.cores {
+		if c.Mercurial() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ScreenCore runs a screening session against core idx.
+func (m *Machine) ScreenCore(idx int, cfg screen.Config, seed uint64) screen.Report {
+	return screen.Screen(m.cores[idx], cfg, xrand.New(seed))
+}
+
+// ScreenAll screens every core and returns the reports in core order —
+// the machine-acceptance flow (burn-in, §6 pre-deployment screening).
+func (m *Machine) ScreenAll(cfg screen.Config, seed uint64) []screen.Report {
+	out := make([]screen.Report, len(m.cores))
+	for i := range m.cores {
+		out[i] = screen.Screen(m.cores[i], cfg, xrand.New(seed+uint64(i)))
+	}
+	return out
+}
+
+// Executor returns a mitigated-execution executor over all cores — the
+// entry point for DMR/TMR/checkpointed runs.
+func (m *Machine) Executor(seed uint64) *mitigate.Executor {
+	return mitigate.NewExecutor(m.cores, seed)
+}
+
+// Verifier returns a self-checking library instance running on primary
+// with verification on checker — §7's verified critical functions.
+func (m *Machine) Verifier(primary, checker int) *selfcheck.Verifier {
+	return selfcheck.NewVerifier(m.Engine(primary), m.Engine(checker))
+}

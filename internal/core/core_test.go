@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/screen"
+)
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine("m", 0, 1); err == nil {
+		t.Fatal("zero-core machine accepted")
+	}
+	if _, err := NewMachine("m", 2, 1, WithDefectClass(5, "alu-stuck-bit")); err == nil {
+		t.Fatal("defect on non-existent core accepted")
+	}
+	if _, err := NewMachine("m", 2, 1, WithDefectClass(0, "no-such-class")); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestHealthyMachine(t *testing.T) {
+	m := MustMachine("m", 4, 1)
+	if m.Cores() != 4 {
+		t.Fatalf("cores = %d", m.Cores())
+	}
+	if got := m.MercurialCores(); len(got) != 0 {
+		t.Fatalf("healthy machine has mercurial cores %v", got)
+	}
+	e := m.Engine(0)
+	if e.Add64(2, 3) != 5 {
+		t.Fatal("engine broken")
+	}
+}
+
+func TestDefectiveMachine(t *testing.T) {
+	m := MustMachine("m", 4, 2, WithDefect(1, fault.Defect{
+		Unit: fault.UnitALU, Deterministic: true,
+		Kind: fault.CorruptBitFlip, BitPos: 0,
+	}))
+	if got := m.MercurialCores(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("mercurial cores = %v", got)
+	}
+	if m.Engine(1).Add64(2, 2) == 4 {
+		t.Fatal("defective core computed correctly")
+	}
+	if m.Engine(0).Add64(2, 2) != 4 {
+		t.Fatal("healthy neighbour corrupted")
+	}
+}
+
+func TestWithDefectClass(t *testing.T) {
+	m := MustMachine("m", 2, 3, WithDefectClass(0, "crypto-self-inverting"))
+	core := m.Core(0)
+	if core.Healthy() {
+		t.Fatal("class defect not attached")
+	}
+	if core.Defects[0].Class != "crypto-self-inverting" {
+		t.Fatalf("class = %q", core.Defects[0].Class)
+	}
+	if core.Defects[0].ID == "" {
+		t.Fatal("sampled defect has no ID")
+	}
+}
+
+func TestMachineDeterministic(t *testing.T) {
+	a := MustMachine("m", 2, 9, WithDefectClass(1, "alu-stuck-bit"))
+	b := MustMachine("m", 2, 9, WithDefectClass(1, "alu-stuck-bit"))
+	da, db := a.Core(1).Defects[0], b.Core(1).Defects[0]
+	if da.BitPos != db.BitPos || da.BaseRate != db.BaseRate {
+		t.Fatal("machine construction not deterministic")
+	}
+}
+
+func TestScreenCoreAndAll(t *testing.T) {
+	m := MustMachine("m", 3, 4, WithDefect(2, fault.Defect{
+		Unit: fault.UnitVec, BaseRate: 1e-3,
+		Kind: fault.CorruptWrongLane,
+	}))
+	reps := m.ScreenAll(screen.Quick(), 5)
+	if len(reps) != 3 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	if reps[0].Detected || reps[1].Detected {
+		t.Fatal("healthy cores flagged")
+	}
+	if !reps[2].Detected {
+		t.Fatal("defective core passed the screen")
+	}
+	one := m.ScreenCore(2, screen.Quick(), 6)
+	if !one.Detected {
+		t.Fatal("single-core screen missed the defect")
+	}
+}
+
+func TestExecutorTMRAcrossMachine(t *testing.T) {
+	m := MustMachine("m", 3, 7, WithDefect(0, fault.Defect{
+		Unit: fault.UnitALU, Deterministic: true,
+		Kind: fault.CorruptOffByOne, Delta: 1,
+	}))
+	x := m.Executor(8)
+	out, st, err := x.TMR(func(e *engine.Engine) []byte {
+		var s uint64
+		for i := uint64(0); i < 100; i++ {
+			s = e.Add64(s, i)
+		}
+		return []byte(fmt.Sprintf("%d", s))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "4950" {
+		t.Fatalf("TMR result %s; bad core outvoted the healthy pair?", out)
+	}
+	if st.Disagreements != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVerifierAcrossCores(t *testing.T) {
+	m := MustMachine("m", 2, 10, WithDefect(0, fault.Defect{
+		Unit: fault.UnitCrypto, Deterministic: true,
+		Kind: fault.CorruptPreXORInput, Mask: 1 << 12,
+	}))
+	v := m.Verifier(0, 1)
+	if _, err := v.EncryptBlocks([]uint64{5}, 3); err == nil {
+		t.Fatal("cross-core verifier missed the self-inverting defect")
+	}
+}

@@ -1,0 +1,54 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+// FuzzLZDecompress asserts the decoder never panics or over-allocates on
+// arbitrary input — a corrupted compressed stream is exactly what a
+// mercurial core produces, so the decoder must be fail-noisy, not
+// fail-crashy.
+func FuzzLZDecompress(f *testing.F) {
+	e := engine.New(fault.NewCore("fuzz", xrand.New(1)))
+	seedSrc := compressible(xrand.New(2), 300)
+	f.Add(LZCompress(e, seedSrc))
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x01, 0x00})
+	f.Add([]byte{0x05, 'a', 'b'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		out, err := LZDecompress(e, data)
+		if err == nil && len(out) > 128*len(data)+256 {
+			t.Fatalf("suspicious expansion: %d -> %d", len(data), len(out))
+		}
+	})
+}
+
+// FuzzLZRoundTrip asserts compress∘decompress is the identity for any
+// input on a healthy core.
+func FuzzLZRoundTrip(f *testing.F) {
+	f.Add([]byte("hello hello hello"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xAA, 0x55}, 300))
+	e := engine.New(fault.NewCore("fuzz2", xrand.New(3)))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<15 {
+			return
+		}
+		comp := LZCompress(e, src)
+		out, err := LZDecompress(e, comp)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("roundtrip mismatch: %d bytes in, %d out", len(src), len(out))
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelfTestPassesOnCleanALU(t *testing.T) {
+	var alu ALU
+	res := SelfTest(alu)
+	if !res.Passed || res.Trapped {
+		t.Fatalf("clean ALU failed self-test: %v", res)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	if !strings.Contains(res.String(), "passed") {
+		t.Fatalf("string = %q", res.String())
+	}
+}
+
+func TestSelfTestCatchesLowCarryFault(t *testing.T) {
+	var alu ALU
+	alu.Inject(StuckAt{Bit: 0, Node: NodeCarry, Value: 1})
+	res := SelfTest(alu)
+	if res.Passed {
+		t.Fatalf("stuck carry[0] slipped through: %v", res)
+	}
+}
+
+func TestSelfTestCatchesMidSumFault(t *testing.T) {
+	var alu ALU
+	alu.Inject(StuckAt{Bit: 13, Node: NodeSum, Value: 0})
+	res := SelfTest(alu)
+	if res.Passed {
+		t.Fatalf("stuck sum[13] slipped through: %v", res)
+	}
+}
+
+func TestSelfTestHighBitFaultMayBeInvisible(t *testing.T) {
+	// A stuck-at-0 on sum bit 63 is invisible to the self-test's small
+	// operands — the §4/§5 coverage problem in miniature. Either outcome
+	// is allowed here; the test documents that both occur across bits.
+	var alu ALU
+	alu.Inject(StuckAt{Bit: 63, Node: NodeSum, Value: 0})
+	res := SelfTest(alu)
+	if res.Trapped {
+		t.Fatalf("unexpected trap: %v", res)
+	}
+	if !res.Passed {
+		t.Log("high-bit fault detected (store/mul path reached it)")
+	}
+}
+
+func TestFaultCoverageSubstantialButIncomplete(t *testing.T) {
+	detected, total := FaultCoverage()
+	if total != 256 {
+		t.Fatalf("total = %d", total)
+	}
+	frac := float64(detected) / float64(total)
+	// The self-test must catch a solid majority of single stuck-at
+	// faults, but full coverage of high-order sum bits needs wider
+	// operands — the paper's point that test coverage is always partial.
+	if frac < 0.5 {
+		t.Fatalf("fault coverage %.0f%% too low", 100*frac)
+	}
+	if frac == 1 {
+		t.Fatal("implausible 100%% coverage; high stuck-at-0 bits should hide")
+	}
+	t.Logf("self-test fault coverage: %d/%d (%.0f%%)", detected, total, 100*frac)
+}
+
+func TestSelfTestDeterministic(t *testing.T) {
+	var alu ALU
+	alu.Inject(StuckAt{Bit: 5, Node: NodeCarry, Value: 0})
+	a := SelfTest(alu)
+	b := SelfTest(alu)
+	if a.Passed != b.Passed || a.Got != b.Got || a.Trapped != b.Trapped {
+		t.Fatal("self-test not deterministic")
+	}
+}
+
+func BenchmarkSelfTest(b *testing.B) {
+	var alu ALU
+	for i := 0; i < b.N; i++ {
+		if !SelfTest(alu).Passed {
+			b.Fatal("self-test failed")
+		}
+	}
+}
+
+func BenchmarkFaultCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FaultCoverage()
+	}
+}

@@ -1,0 +1,143 @@
+// Package ecc implements the end-to-end integrity codes that the paper's
+// application-level defenses rely on (§3, §6): CRC32-C, CRC-64, Fletcher-64
+// and a 64-bit mixing finalizer.
+//
+// Each code comes in two forms: an engine-routed form whose bitwise
+// operations execute through an engine.Engine (so checksumming itself can
+// be victimized by a mercurial core, as in real life), and a Golden form
+// computed natively for ground truth. The engine-routed form on a healthy
+// core always equals the Golden form; tests enforce this.
+package ecc
+
+import "repro/internal/engine"
+
+// CRC-32C (Castagnoli), reflected polynomial 0x82F63B78 — the polynomial
+// used by storage systems like the paper's Colossus example.
+const crc32cPoly = 0x82F63B78
+
+var crc32cTable = makeCRC32Table(crc32cPoly)
+
+func makeCRC32Table(poly uint32) *[256]uint32 {
+	var t [256]uint32
+	for i := range t {
+		crc := uint32(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+// CRC32C computes the Castagnoli CRC through the engine's logic/shift units.
+func CRC32C(e *engine.Engine, data []byte) uint32 {
+	crc := uint64(0xFFFFFFFF)
+	for _, b := range data {
+		idx := e.Xor64(crc, uint64(b)) & 0xFF
+		crc = e.Xor64(e.Shr64(crc, 8), uint64(crc32cTable[idx]))
+	}
+	return uint32(crc ^ 0xFFFFFFFF)
+}
+
+// CRC32CGolden computes the same CRC natively.
+func CRC32CGolden(data []byte) uint32 {
+	crc := uint32(0xFFFFFFFF)
+	for _, b := range data {
+		crc = crc>>8 ^ crc32cTable[byte(crc)^b]
+	}
+	return crc ^ 0xFFFFFFFF
+}
+
+// CRC-64 with the ECMA-182 reflected polynomial.
+const crc64Poly = 0xC96C5795D7870F42
+
+var crc64Table = makeCRC64Table(crc64Poly)
+
+func makeCRC64Table(poly uint64) *[256]uint64 {
+	var t [256]uint64
+	for i := range t {
+		crc := uint64(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+// CRC64 computes the ECMA CRC-64 through the engine.
+func CRC64(e *engine.Engine, data []byte) uint64 {
+	crc := ^uint64(0)
+	for _, b := range data {
+		idx := e.Xor64(crc, uint64(b)) & 0xFF
+		crc = e.Xor64(e.Shr64(crc, 8), crc64Table[idx])
+	}
+	return ^crc
+}
+
+// CRC64Golden computes the same CRC natively.
+func CRC64Golden(data []byte) uint64 {
+	crc := ^uint64(0)
+	for _, b := range data {
+		crc = crc>>8 ^ crc64Table[byte(crc)^b]
+	}
+	return ^crc
+}
+
+// Fletcher64 computes a Fletcher-style checksum over 32-bit words (zero
+// padded) through the engine's adder.
+func Fletcher64(e *engine.Engine, data []byte) uint64 {
+	var s1, s2 uint64
+	const mod = 0xFFFFFFFF
+	for i := 0; i < len(data); i += 4 {
+		var w uint64
+		for j := 0; j < 4 && i+j < len(data); j++ {
+			w |= uint64(data[i+j]) << (8 * uint(j))
+		}
+		s1 = e.Add64(s1, w) % mod
+		s2 = e.Add64(s2, s1) % mod
+	}
+	return s2<<32 | s1
+}
+
+// Fletcher64Golden computes the same checksum natively.
+func Fletcher64Golden(data []byte) uint64 {
+	var s1, s2 uint64
+	const mod = 0xFFFFFFFF
+	for i := 0; i < len(data); i += 4 {
+		var w uint64
+		for j := 0; j < 4 && i+j < len(data); j++ {
+			w |= uint64(data[i+j]) << (8 * uint(j))
+		}
+		s1 = (s1 + w) % mod
+		s2 = (s2 + s1) % mod
+	}
+	return s2<<32 | s1
+}
+
+// Mix64 applies a SplitMix64-style avalanche finalizer through the engine:
+// the cheapest whole-word integrity transform, used to fingerprint records.
+func Mix64(e *engine.Engine, x uint64) uint64 {
+	x = e.Xor64(x, e.Shr64(x, 30))
+	x = e.Mul64(x, 0xbf58476d1ce4e5b9)
+	x = e.Xor64(x, e.Shr64(x, 27))
+	x = e.Mul64(x, 0x94d049bb133111eb)
+	return e.Xor64(x, e.Shr64(x, 31))
+}
+
+// Mix64Golden is the native form of Mix64.
+func Mix64Golden(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}

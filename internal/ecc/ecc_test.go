@@ -1,0 +1,150 @@
+package ecc
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+func healthyEngine() *engine.Engine {
+	return engine.New(fault.NewCore("h", xrand.New(1)))
+}
+
+func TestCRC32CMatchesStdlib(t *testing.T) {
+	// Our Castagnoli table must agree with hash/crc32.
+	table := crc32.MakeTable(crc32.Castagnoli)
+	rng := xrand.New(2)
+	for _, n := range []int{0, 1, 3, 64, 1000} {
+		data := make([]byte, n)
+		rng.Bytes(data)
+		want := crc32.Checksum(data, table)
+		if got := CRC32CGolden(data); got != want {
+			t.Fatalf("CRC32CGolden(%d bytes) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestEngineFormsMatchGoldenOnHealthyCore(t *testing.T) {
+	e := healthyEngine()
+	rng := xrand.New(3)
+	for _, n := range []int{0, 1, 5, 8, 100, 4096} {
+		data := make([]byte, n)
+		rng.Bytes(data)
+		if CRC32C(e, data) != CRC32CGolden(data) {
+			t.Fatalf("CRC32C mismatch at n=%d", n)
+		}
+		if CRC64(e, data) != CRC64Golden(data) {
+			t.Fatalf("CRC64 mismatch at n=%d", n)
+		}
+		if Fletcher64(e, data) != Fletcher64Golden(data) {
+			t.Fatalf("Fletcher64 mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestMix64MatchesGolden(t *testing.T) {
+	e := healthyEngine()
+	f := func(x uint64) bool { return Mix64(e, x) == Mix64Golden(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip many output bits.
+	for bit := uint(0); bit < 64; bit += 7 {
+		a := Mix64Golden(0x1234)
+		b := Mix64Golden(0x1234 ^ 1<<bit)
+		diff := a ^ b
+		n := 0
+		for ; diff != 0; diff &= diff - 1 {
+			n++
+		}
+		if n < 10 {
+			t.Fatalf("bit %d: only %d output bits changed", bit, n)
+		}
+	}
+}
+
+func TestCRCDetectsSingleBitFlip(t *testing.T) {
+	rng := xrand.New(4)
+	data := make([]byte, 512)
+	rng.Bytes(data)
+	orig32 := CRC32CGolden(data)
+	orig64 := CRC64Golden(data)
+	origF := Fletcher64Golden(data)
+	for trial := 0; trial < 100; trial++ {
+		i := rng.Intn(len(data))
+		bit := byte(1) << uint(rng.Intn(8))
+		data[i] ^= bit
+		if CRC32CGolden(data) == orig32 {
+			t.Fatal("CRC32C missed a single-bit flip")
+		}
+		if CRC64Golden(data) == orig64 {
+			t.Fatal("CRC64 missed a single-bit flip")
+		}
+		if Fletcher64Golden(data) == origF {
+			t.Fatal("Fletcher64 missed a single-bit flip")
+		}
+		data[i] ^= bit
+	}
+}
+
+func TestCRCEmptyAndDistinct(t *testing.T) {
+	if CRC32CGolden(nil) != 0 {
+		t.Fatalf("CRC32C(nil) = %#x", CRC32CGolden(nil))
+	}
+	if CRC64Golden([]byte("a")) == CRC64Golden([]byte("b")) {
+		t.Fatal("CRC64 collision on distinct bytes")
+	}
+}
+
+func TestChecksumOnDefectiveCoreCanBeWrong(t *testing.T) {
+	// The checksummer itself runs on a core; a defective ALU corrupts it.
+	// This is why end-to-end checks must be verified on a *different* core.
+	d := fault.Defect{
+		ID: "d", Unit: fault.UnitALU, Deterministic: true,
+		Kind: fault.CorruptBitFlip, BitPos: 2,
+	}
+	e := engine.New(fault.NewCore("m", xrand.New(5), d))
+	data := []byte("hello, mercurial world")
+	if CRC32C(e, data) == CRC32CGolden(data) {
+		t.Fatal("defective-core CRC matched golden; defect had no effect")
+	}
+}
+
+func TestQuickFletcherOrderSensitive(t *testing.T) {
+	// Unlike a plain sum, Fletcher must detect byte swaps.
+	f := func(a, b byte) bool {
+		if a == b {
+			return true
+		}
+		x := Fletcher64Golden([]byte{a, 0, 0, 0, b, 0, 0, 0})
+		y := Fletcher64Golden([]byte{b, 0, 0, 0, a, 0, 0, 0})
+		return x != y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCRC32CEngine(b *testing.B) {
+	e := healthyEngine()
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		CRC32C(e, data)
+	}
+}
+
+func BenchmarkCRC32CGolden(b *testing.B) {
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		CRC32CGolden(data)
+	}
+}

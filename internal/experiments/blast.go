@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+// E13Result quantifies §4's "stickiness" question — "are corruptions
+// 'sticky,' in the sense that one CEE propagates through subsequent
+// computations to create multiple application errors?" — and §2's blast
+// radius examples ("bad metadata can cause the loss of an entire file
+// system, and a corrupted encryption key can render large amounts of data
+// permanently inaccessible").
+type E13Result struct {
+	// Key-wrapping scenario: one corrupted key-wrap renders every blob
+	// under that data key inaccessible.
+	KeyWraps         int
+	CorruptedWraps   int
+	BlobsPerKey      int
+	BlobsLost        int
+	KeyAmplification float64
+	// Chain scenario: a ledger where each record derives from the
+	// previous one; a single corrupted derivation poisons the suffix.
+	ChainLength        int
+	ChainCorruptions   int
+	ChainErrors        int
+	ChainAmplification float64
+}
+
+// E13 measures corruption amplification in two §2-shaped scenarios.
+func E13(s Scale) E13Result {
+	out := E13Result{KeyWraps: 64, BlobsPerKey: 100, ChainLength: 512}
+	if s == Full {
+		out.KeyWraps = 256
+		out.ChainLength = 4096
+	}
+
+	// --- Scenario A: corrupted encryption-key wrap --------------------
+	// Data keys are wrapped (encrypted) under a master key on a core
+	// whose crypto unit intermittently corrupts. A single corrupted wrap
+	// silently destroys access to every blob encrypted under that key.
+	const master = 0x5EC7E7C0DE
+	d := fault.Defect{ID: "wrap", Unit: fault.UnitCrypto, BaseRate: 0.03,
+		Kind: fault.CorruptXORMask, Mask: 1 << 21}
+	bad := engine.New(fault.NewCore("kms", xrand.New(41), d))
+	rng := xrand.New(42)
+	for i := 0; i < out.KeyWraps; i++ {
+		dataKey := rng.Uint64()
+		wrapped := bad.CryptoEncrypt64(dataKey, master)
+		// Later, a healthy core unwraps; a corrupt wrap yields a wrong
+		// data key and every blob under it fails its checksum.
+		unwrapped := engine.GoldenCryptoDecrypt64(wrapped, master)
+		if unwrapped != dataKey {
+			out.CorruptedWraps++
+			out.BlobsLost += out.BlobsPerKey
+		}
+	}
+	if out.CorruptedWraps > 0 {
+		out.KeyAmplification = float64(out.BlobsLost) / float64(out.CorruptedWraps)
+	}
+
+	// --- Scenario B: derivation chain ---------------------------------
+	// record[i] = Mix-style derivation of record[i-1], computed on a
+	// defective multiplier. One corrupted derivation poisons every
+	// subsequent record; consumers validating against golden values see
+	// a burst of application errors from a single CEE.
+	dc := fault.Defect{ID: "chain", Unit: fault.UnitMul, BaseRate: 8e-3,
+		Kind: fault.CorruptBitFlip, BitPos: 11}
+	ce := engine.New(fault.NewCore("ledger", xrand.New(43), dc))
+	ceCore := ce.Core()
+	var prev, goldenPrev uint64 = 1, 1
+	for i := 0; i < out.ChainLength; i++ {
+		before := ceCore.TotalCorruptions()
+		prev = ce.Mul64(prev, 0x9e3779b97f4a7c15)
+		prev = ce.Xor64(prev, prev>>29)
+		goldenPrev = goldenPrev * 0x9e3779b97f4a7c15
+		goldenPrev ^= goldenPrev >> 29
+		if ceCore.TotalCorruptions() > before {
+			out.ChainCorruptions++
+		}
+		if prev != goldenPrev {
+			out.ChainErrors++
+		}
+	}
+	if out.ChainCorruptions > 0 {
+		out.ChainAmplification = float64(out.ChainErrors) / float64(out.ChainCorruptions)
+	}
+	return out
+}
+
+// Table renders E13.
+func (r E13Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E13 — corruption stickiness / blast radius (§4, §2)\n")
+	fmt.Fprintf(&b, "key-wrap scenario:  %d/%d wraps corrupted -> %d blobs inaccessible\n",
+		r.CorruptedWraps, r.KeyWraps, r.BlobsLost)
+	fmt.Fprintf(&b, "                    amplification: %.0f application errors per CEE\n",
+		r.KeyAmplification)
+	fmt.Fprintf(&b, "chain scenario:     %d corruptions in a %d-record derivation chain\n",
+		r.ChainCorruptions, r.ChainLength)
+	fmt.Fprintf(&b, "                    -> %d wrong records (amplification %.0fx)\n",
+		r.ChainErrors, r.ChainAmplification)
+	fmt.Fprintf(&b, "paper: \"errors in computation due to mercurial cores can compound to\n")
+	fmt.Fprintf(&b, "significantly increase the blast radius of the failures they cause\"\n")
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "sort"
+
+// Runner runs one experiment at the given scale and renders its table.
+type Runner func(Scale) string
+
+// Registry maps experiment ids to runners. F1 is the paper's Figure 1;
+// E1..E14 are the per-claim experiments from DESIGN.md §4.
+var Registry = map[string]Runner{
+	"F1":  func(s Scale) string { return F1(s).Table() },
+	"E1":  func(s Scale) string { return E1(s).Table() },
+	"E2":  func(s Scale) string { return E2(s).Table() },
+	"E3":  func(s Scale) string { return E3(s).Table() },
+	"E4":  func(s Scale) string { return E4(s).Table() },
+	"E5":  func(s Scale) string { return E5(s).Table() },
+	"E6":  func(s Scale) string { return E6(s).Table() },
+	"E7":  func(s Scale) string { return E7(s).Table() },
+	"E8":  func(s Scale) string { return E8(s).Table() },
+	"E9":  func(s Scale) string { return E9(s).Table() },
+	"E10": func(s Scale) string { return E10(s).Table() },
+	"E11": func(s Scale) string { return E11(s).Table() },
+	"E12": func(s Scale) string { return E12(s).Table() },
+	"E13": func(s Scale) string { return E13(s).Table() },
+	"E14": func(s Scale) string { return E14(s).Table() },
+}
+
+// IDs returns the experiment ids in presentation order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// F1 first, then E1..E14 numerically.
+		a, b := ids[i], ids[j]
+		if (a[0] == 'F') != (b[0] == 'F') {
+			return a[0] == 'F'
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return ids
+}

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/xrand"
+)
+
+// ClassSpec describes a catalog entry: a family of defects observed in the
+// field, from which concrete Defect instances are sampled. Each entry maps
+// to one of the incident patterns in §2/§5 of the paper.
+type ClassSpec struct {
+	Name string
+	// Weight is the relative frequency of this class among defective
+	// cores in the fleet population.
+	Weight float64
+	// Sample draws a concrete defect of this class.
+	Sample func(id string, rng *xrand.RNG) Defect
+}
+
+// rateSpread draws a base rate spanning several orders of magnitude
+// (§2: "corruption rates vary by many orders of magnitude ... across
+// defective cores"). The log-normal has sigma ≈ 2.3 ≈ one decade, so the
+// population spans 4+ decades.
+func rateSpread(rng *xrand.RNG, median float64) float64 {
+	r := median * rng.LogNormal(0, 2.3)
+	if r > 0.5 {
+		r = 0.5
+	}
+	if r < 1e-12 {
+		r = 1e-12
+	}
+	return r
+}
+
+// maybeOnset returns a latent onset age for ~40% of defects, Weibull with
+// shape 2 (wear-out) and a multi-year scale, reproducing the paper's
+// "these can manifest long after initial installation".
+func maybeOnset(rng *xrand.RNG) simtime.Time {
+	if rng.Float64() < 0.6 {
+		return 0
+	}
+	return simtime.Time(rng.Weibull(2.0, 2.5)) * simtime.Year
+}
+
+// escalation returns a per-year rate multiplier; most defects worsen
+// slightly with time ("often get worse with time").
+func escalation(rng *xrand.RNG) float64 {
+	return 1 + rng.Float64()*2 // 1x–3x per year
+}
+
+// Catalog is the default defect-class catalog. The classes, their relative
+// weights, and corruption shapes encode the §2 incident list.
+var Catalog = []ClassSpec{
+	{
+		Name:   "alu-stuck-bit",
+		Weight: 0.20,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			return Defect{
+				ID: id, Class: "alu-stuck-bit", Unit: UnitALU,
+				BaseRate: rateSpread(rng, 1e-7),
+				Sens:     Sensitivity{Freq: 1.2, Volt: 1.0, Temp: 0.3},
+				Kind:     CorruptStuckBit,
+				BitPos:   uint(rng.Intn(64)),
+				StuckVal: uint(rng.Intn(2)),
+				Onset:    maybeOnset(rng), EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+	{
+		Name:   "mul-wrong-product",
+		Weight: 0.15,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			return Defect{
+				ID: id, Class: "mul-wrong-product", Unit: UnitMul,
+				BaseRate: rateSpread(rng, 3e-8),
+				// Some multiply defects are frequency-insensitive (§5:
+				// "some mercurial core CEE rates are strongly
+				// frequency-sensitive, some aren't").
+				Sens:   Sensitivity{Freq: rng.Float64() * 2, Temp: 0.2},
+				Kind:   CorruptBitFlip,
+				BitPos: uint(rng.Intn(64)),
+				Onset:  maybeOnset(rng), EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+	{
+		Name:   "vec-copy-lane",
+		Weight: 0.18,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			// Affects UnitVec, which carries both vector math and bulk
+			// copies — the §5 shared-logic observation.
+			return Defect{
+				ID: id, Class: "vec-copy-lane", Unit: UnitVec,
+				BaseRate: rateSpread(rng, 2e-7),
+				Sens:     Sensitivity{Freq: 0.8, Volt: 1.5, Temp: 0.4},
+				Kind:     CorruptWrongLane,
+				Onset:    maybeOnset(rng), EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+	{
+		Name:   "copy-bitflip-position",
+		Weight: 0.12,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			// §2: "repeated bit-flips in strings, at a particular bit
+			// position (which stuck out as unlikely to be coding bugs)".
+			return Defect{
+				ID: id, Class: "copy-bitflip-position", Unit: UnitVec,
+				BaseRate: rateSpread(rng, 1e-6),
+				Sens:     Sensitivity{Temp: 0.5},
+				Kind:     CorruptBitFlip,
+				BitPos:   uint(rng.Intn(64)),
+				// Pattern-sensitive: fires only for operands with a
+				// particular high nibble, making it workload-dependent.
+				PatternMask: 0xF0,
+				PatternVal:  uint64(rng.Intn(16)) << 4,
+				Onset:       maybeOnset(rng), EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+	{
+		Name:   "crypto-self-inverting",
+		Weight: 0.08,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			// §2's deterministic AES mis-computation: encrypt+decrypt on
+			// the same core is the identity; decryption elsewhere is
+			// gibberish. Deterministic, pattern-gated so only some keys
+			// and blocks reproduce it ("implementation-level and
+			// environmental details have to line up").
+			return Defect{
+				ID: id, Class: "crypto-self-inverting", Unit: UnitCrypto,
+				Deterministic: true,
+				Kind:          CorruptPreXORInput,
+				// The mask must not overlap the pattern-gate bits, or
+				// the corrupted plaintext stops matching the gate and
+				// decryption skips the defect, breaking the observed
+				// self-inversion.
+				Mask:        1 << uint(3+rng.Intn(61)),
+				PatternMask: 0x7,
+				PatternVal:  uint64(rng.Intn(8)),
+			}
+		},
+	},
+	{
+		Name:   "atomic-lost-update",
+		Weight: 0.08,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			// §2: "violations of lock semantics leading to application
+			// data corruption and crashes".
+			return Defect{
+				ID: id, Class: "atomic-lost-update", Unit: UnitAtomic,
+				BaseRate: rateSpread(rng, 1e-8),
+				Sens:     Sensitivity{Freq: 2.0, Volt: 2.0, Temp: 0.6},
+				Kind:     CorruptDropUpdate,
+				Onset:    maybeOnset(rng), EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+	{
+		Name:   "fpu-low-bits",
+		Weight: 0.07,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			return Defect{
+				ID: id, Class: "fpu-low-bits", Unit: UnitFPU,
+				BaseRate: rateSpread(rng, 5e-8),
+				Sens:     Sensitivity{Freq: 1.0, Temp: 0.3},
+				Kind:     CorruptBitFlip,
+				BitPos:   uint(rng.Intn(16)), // mantissa low bits
+				Onset:    maybeOnset(rng), EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+	{
+		Name:   "div-late-onset",
+		Weight: 0.05,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			// Always latent: appears only after years in service.
+			return Defect{
+				ID: id, Class: "div-late-onset", Unit: UnitDiv,
+				BaseRate:        rateSpread(rng, 1e-7),
+				Sens:            Sensitivity{Freq: 1.5, Volt: 1.0, Temp: 0.5},
+				Kind:            CorruptOffByOne,
+				Delta:           int64(1 + rng.Intn(3)),
+				Onset:           simtime.Time(1+rng.Weibull(2, 2))*simtime.Year + simtime.Year,
+				EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+	{
+		Name:   "lsu-address-offset",
+		Weight: 0.04,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			// Load/store path corruption → the §2 "corruption of kernel
+			// state resulting in process and kernel crashes" pattern.
+			return Defect{
+				ID: id, Class: "lsu-address-offset", Unit: UnitLSU,
+				BaseRate: rateSpread(rng, 2e-8),
+				Sens:     Sensitivity{Freq: 1.0, Volt: 1.2, Temp: 0.8},
+				Kind:     CorruptOffByOne,
+				Delta:    8 * int64(1+rng.Intn(4)),
+				Onset:    maybeOnset(rng), EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+	{
+		Name:   "alu-low-freq-worse",
+		Weight: 0.03,
+		Sample: func(id string, rng *xrand.RNG) Defect {
+			// §5's surprise: "lower frequency sometimes (surprisingly)
+			// increases the failure rate" — negative frequency slope.
+			return Defect{
+				ID: id, Class: "alu-low-freq-worse", Unit: UnitALU,
+				BaseRate: rateSpread(rng, 1e-7),
+				Sens:     Sensitivity{Freq: -1.5, Volt: 0.5, Temp: 0.2},
+				Kind:     CorruptXORMask,
+				Mask:     1<<uint(rng.Intn(64)) | 1<<uint(rng.Intn(64)),
+				Onset:    maybeOnset(rng), EscalatePerYear: escalation(rng),
+			}
+		},
+	},
+}
+
+// SampleDefect draws a defect from the catalog with class probabilities
+// proportional to Weight. id should be unique in the fleet.
+func SampleDefect(id string, rng *xrand.RNG) Defect {
+	total := 0.0
+	for _, c := range Catalog {
+		total += c.Weight
+	}
+	x := rng.Float64() * total
+	for _, c := range Catalog {
+		x -= c.Weight
+		if x < 0 {
+			return c.Sample(id, rng)
+		}
+	}
+	// Floating-point slack: fall back to the last class.
+	last := Catalog[len(Catalog)-1]
+	return last.Sample(id, rng)
+}
+
+// ClassByName returns the catalog entry with the given name.
+func ClassByName(name string) (ClassSpec, error) {
+	for _, c := range Catalog {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return ClassSpec{}, fmt.Errorf("fault: unknown defect class %q", name)
+}

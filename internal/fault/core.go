@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/xrand"
+)
+
+// CorruptionEvent records one ground-truth corruption, for the simulator's
+// truth accounting. Detection experiments compare what detectors found
+// against this record.
+type CorruptionEvent struct {
+	Defect *Defect
+	Op     OpClass
+	Seq    uint64 // per-core operation sequence number
+}
+
+// Core is the fault-model view of one CPU core: an optional set of defects
+// plus the state (operating point, age) that modulates them. A healthy core
+// simply has no defects; its Decide path is a few branches.
+//
+// Core also keeps ground-truth counters: how many operations of each class
+// executed and how many were corrupted. These are the denominators and
+// numerators for the §4 metrics.
+type Core struct {
+	ID      string
+	Defects []Defect
+	Point   OperatingPoint
+	Age     simtime.Time
+
+	rng *xrand.RNG
+
+	// OpCount and CorruptCount index by OpClass.
+	OpCount      [NumOpClasses]uint64
+	CorruptCount [NumOpClasses]uint64
+	seq          uint64
+
+	// OnCorrupt, if non-nil, observes every ground-truth corruption.
+	OnCorrupt func(CorruptionEvent)
+}
+
+// NewCore returns a core with the given defects (copied) and its own
+// deterministic random stream.
+func NewCore(id string, rng *xrand.RNG, defects ...Defect) *Core {
+	c := &Core{
+		ID:      id,
+		Defects: append([]Defect(nil), defects...),
+		Point:   Nominal,
+		rng:     rng.ForkString("core:" + id),
+	}
+	return c
+}
+
+// Healthy reports whether the core has no defects at all.
+func (c *Core) Healthy() bool { return len(c.Defects) == 0 }
+
+// Mercurial reports whether the core carries at least one defect that is
+// past onset at the core's current age (i.e. currently able to fire).
+func (c *Core) Mercurial() bool {
+	for i := range c.Defects {
+		if c.Age >= c.Defects[i].Onset {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide is the engine's hook: it accounts one operation of class op with
+// first operand a, and returns the defect that fires for it, or nil.
+// At most one defect fires per operation (defects are checked in order).
+func (c *Core) Decide(op OpClass, a uint64) *Defect {
+	c.OpCount[op]++
+	c.seq++
+	if len(c.Defects) == 0 {
+		return nil
+	}
+	for i := range c.Defects {
+		d := &c.Defects[i]
+		if d.Active(op, a, c.Point, c.Age, c.rng) {
+			c.CorruptCount[op]++
+			if c.OnCorrupt != nil {
+				c.OnCorrupt(CorruptionEvent{Defect: d, Op: op, Seq: c.seq})
+			}
+			return d
+		}
+	}
+	return nil
+}
+
+// TotalOps returns the total operations executed across all classes.
+func (c *Core) TotalOps() uint64 {
+	var t uint64
+	for _, v := range c.OpCount {
+		t += v
+	}
+	return t
+}
+
+// TotalCorruptions returns the total ground-truth corruptions.
+func (c *Core) TotalCorruptions() uint64 {
+	var t uint64
+	for _, v := range c.CorruptCount {
+		t += v
+	}
+	return t
+}
+
+// ResetCounters zeroes the op and corruption counters (used between
+// screening passes so rates are per-pass).
+func (c *Core) ResetCounters() {
+	c.OpCount = [NumOpClasses]uint64{}
+	c.CorruptCount = [NumOpClasses]uint64{}
+}
+
+// ObservedRate returns corruptions per operation over everything executed
+// so far, or 0 if nothing ran.
+func (c *Core) ObservedRate() float64 {
+	ops := c.TotalOps()
+	if ops == 0 {
+		return 0
+	}
+	return float64(c.TotalCorruptions()) / float64(ops)
+}

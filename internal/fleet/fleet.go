@@ -1,0 +1,491 @@
+// Package fleet implements the fleet-scale simulator that ties the whole
+// system together and regenerates the paper's Figure 1 and quantified
+// claims: a population of machines with rare mercurial cores, production
+// workload that intermittently manifests CEEs as crashes, machine checks,
+// detected wrong answers, and silent corruption; automated screening whose
+// corpus coverage grows over time; human incident triage; the suspect-
+// report service; and quarantine.
+//
+// The simulation is hybrid, mirroring how the numbers arise in production:
+//
+//   - Production-workload CEE manifestation is analytic: each defective
+//     core's daily corruption count is Poisson with mean given by the
+//     defect's activation rate and the workload's operation mix. This is
+//     what makes simulating tens of thousands of machines tractable.
+//   - Screening and confession testing are *real*: they run the actual
+//     self-checking corpus through the op-level engine against the
+//     materialized defective cores, so detection rates are produced by
+//     the mechanism, not assumed.
+//
+// Healthy cores are not materialized (they cannot fail self-checks), which
+// keeps memory proportional to the number of defects, not fleet size.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/quarantine"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/screen"
+	"repro/internal/simtime"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a fleet simulation.
+type Config struct {
+	// Machines and CoresPerMachine shape the fleet.
+	Machines        int
+	CoresPerMachine int
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// DefectsPerMachine is the expected number of defective cores per
+	// machine. The paper reports "on the order of a few mercurial cores
+	// per several thousand machines"; the default 0.002 reproduces that.
+	DefectsPerMachine float64
+	// DailyOpsPerCore is the production operation volume per core per
+	// day that defects can act on.
+	DailyOpsPerCore float64
+	// PImmediateDetect is the probability an application-level check
+	// (checksum, replica compare) catches a corruption promptly.
+	PImmediateDetect float64
+	// PCrash is the probability a corruption crashes the process or
+	// kernel (fail-noisy).
+	PCrash float64
+	// PMCE is the probability of a machine-check event.
+	PMCE float64
+	// PLateDetect is the probability the wrong answer is detected after
+	// it is too late to retry.
+	PLateDetect float64
+	// PCoreAttribution is the probability a detected signal names the
+	// specific core (vs only the machine).
+	PCoreAttribution float64
+	// SoftwareBugSignalsPerMachineDay is the background rate of
+	// corruption-looking signals caused by ordinary software bugs,
+	// spread evenly over cores — the noise the concentration test
+	// rejects and the source of false human accusations.
+	SoftwareBugSignalsPerMachineDay float64
+	// UserReportFraction is the fraction of detected incidents that a
+	// human investigates and files as a user report.
+	UserReportFraction float64
+	// ScreenOpsPerCoreDay is the online screening budget per core per
+	// day, in engine operations.
+	ScreenOpsPerCoreDay uint64
+	// InitialCorpus and CorpusGrowEveryDays model §6's expanding test
+	// corpus ("our regular fleet-wide testing has expanded to new
+	// classes of CEEs ... a few times per year"): the automated screener
+	// starts with the first InitialCorpus workloads and unlocks one more
+	// every CorpusGrowEveryDays days. Zero disables growth.
+	InitialCorpus       int
+	CorpusGrowEveryDays int
+	// MaxSignalsPerCoreDay rate-limits reporting, as production signal
+	// pipelines do.
+	MaxSignalsPerCoreDay int
+	// Policy is the quarantine policy applied to nominated suspects.
+	Policy quarantine.Policy
+	// ConfessionConfig is the screen used for confessions; its zero
+	// value selects a cheap two-pass sweep suitable for daily use.
+	ConfessionConfig screen.Config
+	// RepairAfterDays returns quarantined cores and drained machines to
+	// service with healthy replacement silicon after this many days
+	// (the RMA loop); 0 disables repair.
+	RepairAfterDays int
+	// SKUs describes the CPU-product mix (§2: "the rate is not uniform
+	// across CPU products"; §4: fleets have "various CPU types, from
+	// several vendors, and of various ages"). Nil means one uniform SKU
+	// with no pre-aging.
+	SKUs []SKU
+}
+
+// SKU is one CPU product population in the fleet.
+type SKU struct {
+	// Name labels the product in reports.
+	Name string
+	// Fraction is the share of machines carrying this SKU; fractions
+	// are normalized over the configured SKUs.
+	Fraction float64
+	// DefectMultiplier scales Config.DefectsPerMachine for this SKU.
+	DefectMultiplier float64
+	// PreAgeDays is the maximum in-service age (uniform per machine) at
+	// simulation start — older products carry partially elapsed onset
+	// clocks.
+	PreAgeDays float64
+}
+
+// DefaultConfig returns the calibrated configuration used by the
+// experiments. The fleet is smaller than Google's but large enough for
+// every statistic the paper reports to emerge.
+func DefaultConfig() Config {
+	return Config{
+		Machines:                        4000,
+		CoresPerMachine:                 32,
+		Seed:                            1,
+		DefectsPerMachine:               0.002,
+		DailyOpsPerCore:                 2e7,
+		PImmediateDetect:                0.25,
+		PCrash:                          0.15,
+		PMCE:                            0.05,
+		PLateDetect:                     0.10,
+		PCoreAttribution:                0.8,
+		SoftwareBugSignalsPerMachineDay: 0.001,
+		UserReportFraction:              0.05,
+		ScreenOpsPerCoreDay:             50_000,
+		InitialCorpus:                   5,
+		CorpusGrowEveryDays:             120,
+		MaxSignalsPerCoreDay:            10,
+		Policy: quarantine.Policy{
+			Mode:              quarantine.CoreRemoval,
+			RequireConfession: true,
+		},
+		ConfessionConfig: screen.Config{
+			Passes:       60,
+			Points:       screen.SweepPoints(2, 1, 2),
+			StopOnDetect: true,
+			MaxOps:       15_000_000,
+		},
+	}
+}
+
+// DefectSite locates one materialized defective core.
+type DefectSite struct {
+	Machine string
+	Core    int
+	Site    *fault.Core
+	// FirstActive is the simulated day the defect first became able to
+	// fire (install age crossing onset).
+	FirstActive simtime.Time
+	// Repaired is set when the defective silicon was replaced.
+	Repaired bool
+}
+
+// Machine is the simulator's per-machine record.
+type Machine struct {
+	ID        string
+	SKU       string
+	Defective map[int]*fault.Core
+	// install is the (possibly negative) simulated time the machine
+	// entered service; cores age from it.
+	install simtime.Time
+	// quarantined cores no longer run workload or screening.
+	quarantined map[int]bool
+	drained     bool
+}
+
+// pickSKU draws a SKU proportionally to Fraction.
+func pickSKU(skus []SKU, total float64, rng *xrand.RNG) SKU {
+	if total <= 0 {
+		return skus[0]
+	}
+	x := rng.Float64() * total
+	for _, k := range skus {
+		x -= k.Fraction
+		if x < 0 {
+			return k
+		}
+	}
+	return skus[len(skus)-1]
+}
+
+// MachineSKU returns the SKU name of a machine (empty if unknown).
+func (f *Fleet) MachineSKU(id string) string {
+	m := f.machineByID(id)
+	if m == nil {
+		return ""
+	}
+	return m.SKU
+}
+
+// Outcome classifies one corruption event per §2's risk ladder.
+type Outcome int
+
+const (
+	// OutcomeImmediate is a wrong answer detected nearly immediately.
+	OutcomeImmediate Outcome = iota
+	// OutcomeCrash is a process/kernel crash or segfault.
+	OutcomeCrash
+	// OutcomeMCE is a machine check.
+	OutcomeMCE
+	// OutcomeLate is a wrong answer detected too late to retry.
+	OutcomeLate
+	// OutcomeSilent is a wrong answer never detected.
+	OutcomeSilent
+	numOutcomes
+)
+
+var outcomeNames = [...]string{"immediate", "crash", "mce", "late", "silent"}
+
+func (o Outcome) String() string {
+	if o < 0 || int(o) >= len(outcomeNames) {
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+	return outcomeNames[o]
+}
+
+// repairTicket schedules one isolation's return to service.
+type repairTicket struct {
+	machine string
+	core    int // -1 for whole-machine drain
+	dueDay  int
+}
+
+// DayStats is one day of fleet telemetry — the raw series behind Fig. 1.
+type DayStats struct {
+	Day int
+	// Corruptions is ground truth: CEE events that actually occurred.
+	Corruptions int64
+	// ByOutcome splits corruptions by §2 class.
+	ByOutcome [numOutcomes]int64
+	// AutoReports are core-attributed signals from automated sources
+	// (crashes, MCEs, sanitizers, app checks, screening).
+	AutoReports int
+	// UserReports are human-filed suspicions.
+	UserReports int
+	// ScreenDetections are corpus failures from online screening.
+	ScreenDetections int
+	// NewQuarantines is the number of cores isolated today.
+	NewQuarantines int
+	// RepairsDone is the number of isolations returned to service today.
+	RepairsDone int
+	// ActiveDefects is the number of defective cores past onset and not
+	// yet quarantined.
+	ActiveDefects int
+}
+
+// TriageStats tracks the human-triage ledger for experiment E5. The paper
+// reports that "roughly half of these human-identified suspects are
+// actually proven ... to be mercurial cores — we must extract confessions
+// via further testing ... The other half is a mix of false accusations and
+// limited reproducibility."
+type TriageStats struct {
+	// Investigated counts unique human investigations (one per suspect
+	// machine).
+	Investigated int
+	// Confirmed counts investigations whose confession screen
+	// reproduced a failure.
+	Confirmed int
+	// FalseAccusations counts investigations that fingered a core that
+	// is in truth healthy.
+	FalseAccusations int
+	// RealNotReproduced counts investigations of genuinely defective
+	// cores whose confession screen failed to reproduce the defect —
+	// the paper's "limited reproducibility".
+	RealNotReproduced int
+}
+
+// Fleet is one simulated fleet.
+type Fleet struct {
+	cfg      Config
+	rng      *xrand.RNG
+	machines []*Machine
+	defects  []*DefectSite
+	server   *report.Server
+	cluster  *sched.Cluster
+	manager  *quarantine.Manager
+	allWork  []corpus.Workload
+	// Truth and detection ledgers.
+	Triage TriageStats
+	// quarantineDay maps core ref to the day it was isolated.
+	quarantineDay map[sched.CoreRef]int
+	repairQueue   []repairTicket
+	// Repairs counts completed repairs.
+	Repairs int
+	day     int
+	// userSeen dedups human investigations per machine: production
+	// humans investigate a suspect machine once, not per incident.
+	userSeen map[string]bool
+}
+
+// New builds the fleet population deterministically from cfg.
+func New(cfg Config) *Fleet {
+	if cfg.Machines <= 0 || cfg.CoresPerMachine <= 0 {
+		panic("fleet: machines and cores must be positive")
+	}
+	// The quarantine manager picks its confession screen from the
+	// policy; default it to the fleet's (cheap) confession config so
+	// daily suspect processing does not run full deep screens.
+	if cfg.Policy.ConfessionConfig.Passes == 0 {
+		cfg.Policy.ConfessionConfig = cfg.ConfessionConfig
+	}
+	if cfg.Policy.DeclineRetry == 0 {
+		cfg.Policy.DeclineRetry = 30 * simtime.Day
+	}
+	f := &Fleet{
+		cfg:           cfg,
+		rng:           xrand.New(cfg.Seed),
+		server:        report.NewServer(cfg.CoresPerMachine),
+		cluster:       sched.NewCluster(),
+		allWork:       corpus.All(),
+		quarantineDay: map[sched.CoreRef]int{},
+		userSeen:      map[string]bool{},
+	}
+	f.manager = quarantine.NewManager(f.cluster, cfg.Policy)
+	popRNG := f.rng.ForkString("population")
+	skus := cfg.SKUs
+	if len(skus) == 0 {
+		skus = []SKU{{Name: "default", Fraction: 1, DefectMultiplier: 1}}
+	}
+	var fracTotal float64
+	for _, k := range skus {
+		fracTotal += k.Fraction
+	}
+	defectID := 0
+	for i := 0; i < cfg.Machines; i++ {
+		id := fmt.Sprintf("m%05d", i)
+		sku := pickSKU(skus, fracTotal, popRNG)
+		m := &Machine{
+			ID: id, SKU: sku.Name,
+			Defective: map[int]*fault.Core{}, quarantined: map[int]bool{},
+		}
+		if sku.PreAgeDays > 0 {
+			m.install = -simtime.Time(popRNG.Float64()*sku.PreAgeDays) * simtime.Day
+		}
+		if _, err := f.cluster.AddMachine(id, cfg.CoresPerMachine); err != nil {
+			panic(err)
+		}
+		// Expected defective cores per machine; Poisson-thin across cores.
+		mult := sku.DefectMultiplier
+		if mult == 0 {
+			mult = 1
+		}
+		n := popRNG.Poisson(cfg.DefectsPerMachine * mult)
+		if n > cfg.CoresPerMachine {
+			n = cfg.CoresPerMachine
+		}
+		for j := 0; j < n; j++ {
+			coreIdx := popRNG.Intn(cfg.CoresPerMachine)
+			if _, dup := m.Defective[coreIdx]; dup {
+				continue
+			}
+			defectID++
+			d := fault.SampleDefect(fmt.Sprintf("D%04d", defectID), popRNG)
+			coreName := fmt.Sprintf("%s/c%02d", id, coreIdx)
+			core := fault.NewCore(coreName, popRNG, d)
+			m.Defective[coreIdx] = core
+			// FirstActive is wall-clock: pre-aged machines may carry
+			// defects already past onset at simulation start.
+			firstActive := m.install + d.Onset
+			if firstActive < 0 {
+				firstActive = 0
+			}
+			f.defects = append(f.defects, &DefectSite{
+				Machine: id, Core: coreIdx, Site: core,
+				FirstActive: firstActive,
+			})
+		}
+		f.machines = append(f.machines, m)
+	}
+	return f
+}
+
+// Config returns the fleet's configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Defects returns the ground-truth defect sites.
+func (f *Fleet) Defects() []*DefectSite { return f.defects }
+
+// Server returns the suspect-report service.
+func (f *Fleet) Server() *report.Server { return f.server }
+
+// Cluster returns the scheduler state.
+func (f *Fleet) Cluster() *sched.Cluster { return f.cluster }
+
+// Manager returns the quarantine manager.
+func (f *Fleet) Manager() *quarantine.Manager { return f.manager }
+
+// QuarantineDay returns the day a core was isolated, if it was.
+func (f *Fleet) QuarantineDay(ref sched.CoreRef) (int, bool) {
+	d, ok := f.quarantineDay[ref]
+	return d, ok
+}
+
+// patternFraction returns the fraction of uniform operands matching the
+// defect's pattern gate.
+func patternFraction(d *fault.Defect) float64 {
+	if d.PatternMask == 0 {
+		return 1
+	}
+	return 1 / float64(uint64(1)<<uint(bits.OnesCount64(d.PatternMask)))
+}
+
+// opMix is the default production operation mix by class (fractions sum to
+// 1): integer-heavy with meaningful copy/vector traffic, sparse crypto and
+// atomics — a plausible datacenter profile.
+var opMix = [fault.NumOpClasses]float64{
+	fault.OpAdd:    0.22,
+	fault.OpSub:    0.08,
+	fault.OpMul:    0.07,
+	fault.OpDiv:    0.01,
+	fault.OpLogic:  0.10,
+	fault.OpShift:  0.05,
+	fault.OpCmp:    0.12,
+	fault.OpFAdd:   0.04,
+	fault.OpFMul:   0.04,
+	fault.OpVec:    0.07,
+	fault.OpCopy:   0.10,
+	fault.OpCrypto: 0.02,
+	fault.OpAtomic: 0.02,
+	fault.OpLoad:   0.04,
+	fault.OpStore:  0.02,
+}
+
+// dailyLambda computes the expected number of production corruptions per
+// day for a defective core at its current age and operating point.
+func (f *Fleet) dailyLambda(core *fault.Core) float64 {
+	var lambda float64
+	for i := range core.Defects {
+		d := &core.Defects[i]
+		rate := d.Rate(core.Point, core.Age)
+		if rate <= 0 {
+			continue
+		}
+		frac := patternFraction(d)
+		for op := fault.OpClass(0); op < fault.NumOpClasses; op++ {
+			if fault.UnitOf(op) != d.Unit {
+				continue
+			}
+			lambda += rate * frac * f.cfg.DailyOpsPerCore * opMix[op]
+		}
+	}
+	return lambda
+}
+
+// splitOutcomes distributes n corruption events over the §2 outcome
+// classes using successive binomial thinning.
+func (f *Fleet) splitOutcomes(n int64, rng *xrand.RNG) [numOutcomes]int64 {
+	var out [numOutcomes]int64
+	remaining := n
+	probs := []struct {
+		o Outcome
+		p float64
+	}{
+		{OutcomeImmediate, f.cfg.PImmediateDetect},
+		{OutcomeCrash, f.cfg.PCrash},
+		{OutcomeMCE, f.cfg.PMCE},
+		{OutcomeLate, f.cfg.PLateDetect},
+	}
+	left := 1.0
+	for _, pr := range probs {
+		if remaining <= 0 || left <= 0 {
+			break
+		}
+		cond := pr.p / left
+		if cond > 1 {
+			cond = 1
+		}
+		var k int64
+		if remaining > math.MaxInt32 {
+			k = int64(float64(remaining) * cond)
+		} else {
+			k = int64(rng.Binomial(int(remaining), cond))
+		}
+		out[pr.o] = k
+		remaining -= k
+		left -= pr.p
+	}
+	out[OutcomeSilent] = remaining
+	return out
+}

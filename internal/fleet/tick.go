@@ -1,0 +1,425 @@
+package fleet
+
+import (
+	"math"
+
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/quarantine"
+	"repro/internal/sched"
+	"repro/internal/screen"
+	"repro/internal/simtime"
+	"repro/internal/xrand"
+)
+
+// screenCorpusSize returns how many corpus workloads the automated
+// screener has unlocked by the given day (§6's growing test corpus).
+func (f *Fleet) screenCorpusSize(day int) int {
+	n := f.cfg.InitialCorpus
+	if n <= 0 {
+		n = len(f.allWork)
+	}
+	if f.cfg.CorpusGrowEveryDays > 0 {
+		n += day / f.cfg.CorpusGrowEveryDays
+	}
+	if n > len(f.allWork) {
+		n = len(f.allWork)
+	}
+	return n
+}
+
+// Step advances the simulation by one day and returns its telemetry.
+func (f *Fleet) Step() DayStats {
+	day := f.day
+	f.day++
+	now := simtime.Time(day) * simtime.Day
+	st := DayStats{Day: day}
+	dayRNG := f.rng.Fork(uint64(day) + 0x9e37)
+
+	// 1. Production workload on defective cores: analytic incident
+	// generation plus signal emission.
+	for _, site := range f.defects {
+		m := f.machineByID(site.Machine)
+		if m.drained || m.quarantined[site.Core] {
+			continue
+		}
+		core := site.Site
+		core.Age = now - m.install
+		lambda := f.dailyLambda(core)
+		if lambda <= 0 {
+			continue
+		}
+		st.ActiveDefects++
+		// Cap: a core cannot corrupt more ops than it executes.
+		if max := f.cfg.DailyOpsPerCore; lambda > max {
+			lambda = max
+		}
+		var n int64
+		if lambda > 1e6 {
+			// Deterministic high-rate defects: Poisson ≈ mean.
+			n = int64(lambda)
+		} else {
+			n = int64(dayRNG.Poisson(lambda))
+		}
+		if n == 0 {
+			continue
+		}
+		st.Corruptions += n
+		outcomes := f.splitOutcomes(n, dayRNG)
+		for o := Outcome(0); o < numOutcomes; o++ {
+			st.ByOutcome[o] += outcomes[o]
+		}
+		f.emitSignals(site, outcomes, now, dayRNG, &st)
+	}
+
+	// 2. Background software-bug noise over the whole fleet, spread
+	// evenly — the signals the concentration test must reject.
+	noiseLambda := f.cfg.SoftwareBugSignalsPerMachineDay * float64(len(f.machines))
+	noise := dayRNG.Poisson(noiseLambda)
+	for i := 0; i < noise; i++ {
+		m := f.machines[dayRNG.Intn(len(f.machines))]
+		if m.drained {
+			continue
+		}
+		coreIdx := dayRNG.Intn(f.cfg.CoresPerMachine)
+		f.server.Ingest(detect.Signal{
+			Machine: m.ID, Core: coreIdx, Kind: detect.SigCrash,
+			Time: now, Detail: "software bug",
+		})
+		st.AutoReports++
+		// Some bug-noise also triggers human investigation — the false
+		// accusations in §6's triage ledger.
+		if dayRNG.Bernoulli(f.cfg.UserReportFraction) {
+			f.fileUserReport(m.ID, coreIdx, now, &st)
+		}
+	}
+
+	// 3. Online screening: real corpus execution against defective
+	// cores (healthy cores cannot fail self-checks, so only their cost
+	// would matter; it is accounted implicitly by the budget).
+	f.runScreening(day, now, dayRNG, &st)
+
+	// 4. Suspect processing: concentration-tested nominations flow into
+	// quarantine with confession testing against the real core.
+	f.processSuspects(now, dayRNG, &st)
+
+	// 5. Repairs: isolated hardware returns to service with healthy
+	// replacement silicon after the RMA turnaround.
+	f.processRepairs(day, &st)
+
+	return st
+}
+
+// processRepairs completes due repair tickets: the defective silicon is
+// replaced, capacity is restored, and the (new) core is eligible for
+// placement again.
+func (f *Fleet) processRepairs(day int, st *DayStats) {
+	if f.cfg.RepairAfterDays <= 0 {
+		return
+	}
+	keep := f.repairQueue[:0]
+	for _, tk := range f.repairQueue {
+		if tk.dueDay > day {
+			keep = append(keep, tk)
+			continue
+		}
+		m := f.machineByID(tk.machine)
+		if tk.core < 0 {
+			// Whole-machine drain: replace every defective core and
+			// undrain.
+			for idx := range m.Defective {
+				f.retireDefect(tk.machine, idx)
+				f.manager.Release(sched.CoreRef{Machine: tk.machine, Core: idx})
+			}
+			m.drained = false
+			if err := f.cluster.Undrain(tk.machine); err == nil {
+				f.Repairs++
+				st.RepairsDone++
+			}
+			continue
+		}
+		f.retireDefect(tk.machine, tk.core)
+		delete(m.quarantined, tk.core)
+		ref := sched.CoreRef{Machine: tk.machine, Core: tk.core}
+		f.manager.Release(ref)
+		if _, err := f.cluster.SetCoreState(ref, sched.CoreHealthy, nil); err == nil {
+			f.Repairs++
+			st.RepairsDone++
+		}
+	}
+	f.repairQueue = keep
+}
+
+// retireDefect marks the defect site at (machine, core) repaired and
+// removes the defective silicon from the machine.
+func (f *Fleet) retireDefect(machine string, core int) {
+	m := f.machineByID(machine)
+	if _, ok := m.Defective[core]; !ok {
+		return
+	}
+	delete(m.Defective, core)
+	for _, site := range f.defects {
+		if site.Machine == machine && site.Core == core {
+			site.Repaired = true
+		}
+	}
+}
+
+// machineByID is O(1) via index arithmetic: IDs are dense ("m%05d").
+func (f *Fleet) machineByID(id string) *Machine {
+	// Parse the numeric suffix without fmt.Sscanf for speed.
+	n := 0
+	for i := 1; i < len(id); i++ {
+		n = n*10 + int(id[i]-'0')
+	}
+	return f.machines[n]
+}
+
+// emitSignals converts one core's daily outcomes into rate-limited signals
+// to the report service.
+func (f *Fleet) emitSignals(site *DefectSite, outcomes [numOutcomes]int64, now simtime.Time, rng *xrand.RNG, st *DayStats) {
+	budget := f.cfg.MaxSignalsPerCoreDay
+	if budget <= 0 {
+		budget = 10
+	}
+	emit := func(kind detect.SignalKind, count int64) {
+		for i := int64(0); i < count && budget > 0; i++ {
+			budget--
+			core := site.Core
+			if !rng.Bernoulli(f.cfg.PCoreAttribution) {
+				core = -1 // machine-level attribution only
+			}
+			f.server.Ingest(detect.Signal{
+				Machine: site.Machine, Core: core, Kind: kind, Time: now,
+			})
+			st.AutoReports++
+		}
+	}
+	emit(detect.SigAppError, outcomes[OutcomeImmediate])
+	emit(detect.SigCrash, outcomes[OutcomeCrash])
+	emit(detect.SigMCE, outcomes[OutcomeMCE])
+	emit(detect.SigAppError, outcomes[OutcomeLate])
+	// Detected incidents spawn human investigations at the configured
+	// rate; humans usually finger the right core, sometimes a neighbour.
+	detected := outcomes[OutcomeImmediate] + outcomes[OutcomeCrash] + outcomes[OutcomeLate]
+	investigations := rng.Binomial(int(min64(detected, 50)), f.cfg.UserReportFraction)
+	for i := 0; i < investigations; i++ {
+		coreIdx := site.Core
+		if !rng.Bernoulli(f.cfg.PCoreAttribution) {
+			coreIdx = rng.Intn(f.cfg.CoresPerMachine) // wrong core fingered
+		}
+		f.fileUserReport(site.Machine, coreIdx, now, st)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fileUserReport records a human-filed suspicion and queues it for triage.
+// Each suspect machine is investigated at most once — humans triage the
+// incident stream per machine, not per event.
+func (f *Fleet) fileUserReport(machine string, coreIdx int, now simtime.Time, st *DayStats) {
+	f.server.Ingest(detect.Signal{
+		Machine: machine, Core: coreIdx, Kind: detect.SigUserReport, Time: now,
+	})
+	st.UserReports++
+	if f.userSeen[machine] {
+		return
+	}
+	f.userSeen[machine] = true
+	// Human triage: extract a confession via further testing (§6).
+	f.Triage.Investigated++
+	ref := sched.CoreRef{Machine: machine, Core: coreIdx}
+	core := f.coreFor(ref)
+	truthDefective := f.machineByID(machine).Defective[coreIdx] != nil
+	conf := detect.Confess(core, f.confessionConfig(), f.rng.Fork(uint64(len(f.userSeen))))
+	switch {
+	case conf.Confirmed:
+		f.Triage.Confirmed++
+	case truthDefective:
+		f.Triage.RealNotReproduced++
+	default:
+		f.Triage.FalseAccusations++
+	}
+}
+
+// coreFor returns the materialized defective core at ref, or a fresh
+// healthy core (healthy cores are not stored).
+func (f *Fleet) coreFor(ref sched.CoreRef) *fault.Core {
+	m := f.machineByID(ref.Machine)
+	if core, ok := m.Defective[ref.Core]; ok {
+		return core
+	}
+	return fault.NewCore(ref.String(), f.rng.ForkString("healthy:"+ref.String()))
+}
+
+func (f *Fleet) confessionConfig() screen.Config {
+	cfg := f.cfg.ConfessionConfig
+	if cfg.Passes == 0 {
+		cfg = screen.Config{Passes: 60, Points: screen.SweepPoints(2, 1, 2),
+			StopOnDetect: true, MaxOps: 15_000_000}
+	}
+	return cfg
+}
+
+// runScreening executes real online screening against every active
+// defective core with the day's unlocked corpus subset.
+func (f *Fleet) runScreening(day int, now simtime.Time, rng *xrand.RNG, st *DayStats) {
+	if f.cfg.ScreenOpsPerCoreDay == 0 {
+		return // screening disabled: detection relies on incident signals only
+	}
+	size := f.screenCorpusSize(day)
+	ws := f.allWork[:size]
+	online := &screen.Online{BudgetOps: f.cfg.ScreenOpsPerCoreDay, Workloads: ws}
+	for _, site := range f.defects {
+		m := f.machineByID(site.Machine)
+		if m.drained || m.quarantined[site.Core] {
+			continue
+		}
+		core := site.Site
+		core.Age = now - m.install
+		if !core.Mercurial() {
+			continue // latent: screening cannot catch it yet
+		}
+		found, _ := online.Tick(core, rng.ForkString("screen:"+core.ID))
+		for range found {
+			f.server.Ingest(detect.Signal{
+				Machine: site.Machine, Core: site.Core,
+				Kind: detect.SigScreenFail, Time: now,
+			})
+			st.ScreenDetections++
+			st.AutoReports++
+		}
+	}
+}
+
+// processSuspects runs the tracker's nominations through the quarantine
+// manager, binding confessions to the real cores.
+func (f *Fleet) processSuspects(now simtime.Time, rng *xrand.RNG, st *DayStats) {
+	for _, s := range f.server.Suspects() {
+		ref := sched.CoreRef{Machine: s.Machine, Core: s.Core}
+		if f.manager.Isolated(ref) {
+			continue
+		}
+		core := f.coreFor(ref)
+		seed := rng.Uint64()
+		rec, err := f.manager.Handle(s, now, func(cfg screen.Config) detect.Confession {
+			return detect.Confess(core, cfg, xrand.New(seed))
+		})
+		if err != nil || rec == nil {
+			continue
+		}
+		st.NewQuarantines++
+		f.quarantineDay[ref] = f.day - 1
+		m := f.machineByID(s.Machine)
+		if rec.Mode == quarantine.MachineDrain {
+			m.drained = true
+			f.server.Forget(s.Machine)
+			if f.cfg.RepairAfterDays > 0 {
+				f.repairQueue = append(f.repairQueue, repairTicket{
+					machine: s.Machine, core: -1,
+					dueDay: f.day - 1 + f.cfg.RepairAfterDays,
+				})
+			}
+		} else {
+			m.quarantined[s.Core] = true
+			f.server.ForgetCore(s.Machine, s.Core)
+			if f.cfg.RepairAfterDays > 0 {
+				f.repairQueue = append(f.repairQueue, repairTicket{
+					machine: s.Machine, core: s.Core,
+					dueDay: f.day - 1 + f.cfg.RepairAfterDays,
+				})
+			}
+		}
+	}
+}
+
+// Run advances the simulation the given number of days and returns the
+// daily series.
+func (f *Fleet) Run(days int) []DayStats {
+	out := make([]DayStats, 0, days)
+	for i := 0; i < days; i++ {
+		out = append(out, f.Step())
+	}
+	return out
+}
+
+// WeeklyRates aggregates a daily series into per-machine weekly report
+// rates — the two curves of Fig. 1.
+type WeeklyRate struct {
+	Week int
+	// User and Auto are reports per machine per week.
+	User, Auto float64
+}
+
+// WeeklyRates computes Fig. 1's series from a daily run.
+func WeeklyRates(days []DayStats, machines int) []WeeklyRate {
+	if machines <= 0 {
+		return nil
+	}
+	var out []WeeklyRate
+	for start := 0; start < len(days); start += 7 {
+		end := start + 7
+		if end > len(days) {
+			end = len(days)
+		}
+		var user, auto int
+		for _, d := range days[start:end] {
+			user += d.UserReports
+			auto += d.AutoReports
+		}
+		out = append(out, WeeklyRate{
+			Week: start / 7,
+			User: float64(user) / float64(machines),
+			Auto: float64(auto) / float64(machines),
+		})
+	}
+	return out
+}
+
+// Normalize scales both series so the first non-zero auto rate is 1 —
+// Fig. 1 is "normalized to an arbitrary baseline".
+func Normalize(rates []WeeklyRate) []WeeklyRate {
+	var base float64
+	for _, r := range rates {
+		if r.Auto > 0 {
+			base = r.Auto
+			break
+		}
+	}
+	if base == 0 {
+		return rates
+	}
+	out := make([]WeeklyRate, len(rates))
+	for i, r := range rates {
+		out[i] = WeeklyRate{Week: r.Week, User: r.User / base, Auto: r.Auto / base}
+	}
+	return out
+}
+
+// TrendSlope fits a least-squares line to the auto series and returns its
+// slope per week — the "gradually increasing" claim of Fig. 1 is slope>0.
+func TrendSlope(rates []WeeklyRate, pick func(WeeklyRate) float64) float64 {
+	n := float64(len(rates))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxy, sxx float64
+	for _, r := range rates {
+		x := float64(r.Week)
+		y := pick(r)
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+	}
+	denom := n*sxx - sx*sx
+	if math.Abs(denom) < 1e-12 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / denom
+}

@@ -1,0 +1,203 @@
+// Package forensics implements the §9 research ask to "develop methods to
+// detect novel defect modes, and to efficiently record sufficient forensic
+// evidence across large fleets":
+//
+//   - Ring is a constant-memory per-core recorder of recent corruption
+//     events (attached via fault.Core's OnCorrupt hook) — the evidence a
+//     triage engineer dumps after a suspicion fires, without paying for
+//     unbounded logs fleet-wide.
+//   - Mode/ModeDB classify a characterization screen into a defect-mode
+//     signature (which execution units are implicated, and whether the
+//     failures reproduce deterministically) and track which signatures the
+//     fleet has seen before. A novel signature is exactly the §6 situation
+//     where "new tests might be developed, in response to newly-discovered
+//     defect modes, after deployment".
+package forensics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/screen"
+)
+
+// Ring is a fixed-capacity ring buffer of corruption events. It is safe
+// for use from a single goroutine (like the engine that feeds it); wrap
+// externally if shared.
+type Ring struct {
+	events []fault.CorruptionEvent
+	next   int
+	total  uint64
+}
+
+// NewRing returns a ring holding the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Ring{events: make([]fault.CorruptionEvent, 0, capacity)}
+}
+
+// Hook returns a function suitable for fault.Core.OnCorrupt.
+func (r *Ring) Hook() func(fault.CorruptionEvent) {
+	return func(e fault.CorruptionEvent) { r.Add(e) }
+}
+
+// Add records one event, evicting the oldest if full.
+func (r *Ring) Add(e fault.CorruptionEvent) {
+	r.total++
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.next] = e
+	r.next = (r.next + 1) % cap(r.events)
+}
+
+// Total returns the number of events ever recorded (not just retained).
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []fault.CorruptionEvent {
+	if len(r.events) < cap(r.events) {
+		return append([]fault.CorruptionEvent(nil), r.events...)
+	}
+	out := make([]fault.CorruptionEvent, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// ByOpClass tallies retained events by operation class — the first thing
+// a triage engineer looks at ("this code has miscomputed on that core").
+func (r *Ring) ByOpClass() map[fault.OpClass]int {
+	out := map[fault.OpClass]int{}
+	for _, e := range r.Events() {
+		out[e.Op]++
+	}
+	return out
+}
+
+// Mode is an observable defect-mode signature derived from a
+// characterization screen: the set of implicated execution units plus
+// gross reproducibility. It deliberately contains nothing that requires
+// knowing the underlying defect — production triage cannot see that.
+type Mode struct {
+	// Units is the sorted set of execution units implicated by failing
+	// workloads.
+	Units []fault.Unit
+	// Deterministic is true when every pass at some operating point
+	// failed (the defect reproduces on demand).
+	Deterministic bool
+}
+
+// Key renders the mode as a stable map key.
+func (m Mode) Key() string {
+	parts := make([]string, len(m.Units))
+	for i, u := range m.Units {
+		parts[i] = u.String()
+	}
+	k := strings.Join(parts, "+")
+	if m.Deterministic {
+		k += "/det"
+	} else {
+		k += "/int"
+	}
+	return k
+}
+
+func (m Mode) String() string { return "mode[" + m.Key() + "]" }
+
+// Classify derives the mode signature from a characterization report. The
+// report should come from a full (StopOnDetect=false) screen so the
+// failing-workload set is complete. ok is false when the report contains
+// no detections (nothing to classify).
+func Classify(rep screen.Report) (Mode, bool) {
+	if len(rep.Detections) == 0 {
+		return Mode{}, false
+	}
+	unitSet := map[fault.Unit]bool{}
+	failuresPerWorkload := map[string]int{}
+	for _, det := range rep.Detections {
+		failuresPerWorkload[det.Result.Workload]++
+		w, err := corpus.ByName(det.Result.Workload)
+		if err != nil {
+			continue
+		}
+		for _, u := range w.Units() {
+			unitSet[u] = true
+		}
+	}
+	units := make([]fault.Unit, 0, len(unitSet))
+	for u := range unitSet {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+
+	// Deterministic heuristic: some workload failed on every pass run.
+	det := false
+	for _, n := range failuresPerWorkload {
+		if rep.PassesRun > 0 && n >= rep.PassesRun {
+			det = true
+			break
+		}
+	}
+	return Mode{Units: units, Deterministic: det}, true
+}
+
+// ModeDB tracks the defect modes a fleet has confirmed so far. Safe for
+// concurrent use.
+type ModeDB struct {
+	mu    sync.Mutex
+	seen  map[string]int
+	order []string
+}
+
+// NewModeDB returns an empty mode database.
+func NewModeDB() *ModeDB {
+	return &ModeDB{seen: map[string]int{}}
+}
+
+// Observe records a mode occurrence and reports whether it was novel —
+// the trigger for §6's "develop a new automatable test" loop.
+func (db *ModeDB) Observe(m Mode) (novel bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := m.Key()
+	if db.seen[k] == 0 {
+		novel = true
+		db.order = append(db.order, k)
+	}
+	db.seen[k]++
+	return novel
+}
+
+// Count returns how many times a mode has been observed.
+func (db *ModeDB) Count(m Mode) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.seen[m.Key()]
+}
+
+// Known returns all observed mode keys in first-seen order.
+func (db *ModeDB) Known() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]string(nil), db.order...)
+}
+
+// Report renders the database for operator consumption.
+func (db *ModeDB) Report() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "known defect modes: %d\n", len(db.order))
+	for _, k := range db.order {
+		fmt.Fprintf(&b, "  %-24s seen %d time(s)\n", k, db.seen[k])
+	}
+	return b.String()
+}

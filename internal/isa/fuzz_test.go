@@ -1,0 +1,57 @@
+package isa
+
+import "testing"
+
+// FuzzAssemble asserts the assembler never panics on arbitrary source and
+// that anything it accepts survives a disassemble/reassemble round trip.
+func FuzzAssemble(f *testing.F) {
+	f.Add("movi r1, 5\nadd r2, r1, r1\nhalt")
+	f.Add("loop: jmp loop")
+	f.Add("; comment only")
+	f.Add("st r1, r2, -3\nld r4, r2, -3")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		words, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		text, err := Disassemble(words)
+		if err != nil {
+			t.Fatalf("assembled program does not disassemble: %v", err)
+		}
+		words2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, text)
+		}
+		if len(words) != len(words2) {
+			t.Fatalf("reassembly length %d != %d", len(words2), len(words))
+		}
+		for i := range words {
+			if words[i] != words2[i] {
+				t.Fatalf("instruction %d: %#x != %#x", i, words2[i], words[i])
+			}
+		}
+	})
+}
+
+// FuzzDecode asserts the decoder never panics and that every decodable
+// word re-encodes to itself.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded instruction does not encode: %+v: %v", in, err)
+		}
+		if w2 != w {
+			t.Fatalf("encode(decode(%#x)) = %#x", w, w2)
+		}
+	})
+}

@@ -1,0 +1,355 @@
+// Package isa defines a small RISC instruction set with an assembler and
+// disassembler. Together with package cpu it forms the "cycle-level CPU
+// simulator that allows injection of known CEE behavior, or even
+// finer-grained simulators that inject circuit-level faults likely to lead
+// to CEE" that §9 of "Cores that don't count" calls on the community to
+// build.
+//
+// The machine has 16 general-purpose 64-bit registers (r0 is hardwired to
+// zero), a word-addressed data memory, and fixed-width 32-bit instructions:
+//
+//	[31:26] opcode  [25:22] rd  [21:18] rs1  [17:14] rs2  [13:0] imm14
+//
+// imm14 is sign-extended. Branch targets are imm14 words relative to the
+// following instruction.
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+	OpHalt
+	OpAdd  // rd = rs1 + rs2
+	OpSub  // rd = rs1 - rs2
+	OpAnd  // rd = rs1 & rs2
+	OpOr   // rd = rs1 | rs2
+	OpXor  // rd = rs1 ^ rs2
+	OpShl  // rd = rs1 << (rs2 & 63)
+	OpShr  // rd = rs1 >> (rs2 & 63)
+	OpMul  // rd = rs1 * rs2 (low 64)
+	OpDiv  // rd = rs1 / rs2 (traps on rs2 == 0)
+	OpAddi // rd = rs1 + imm
+	OpMovi // rd = imm
+	OpLd   // rd = mem[rs1 + imm]
+	OpSt   // mem[rs1 + imm] = rs2
+	OpBeq  // if rs1 == rs2: pc += imm
+	OpBne  // if rs1 != rs2: pc += imm
+	OpBlt  // if rs1 <  rs2 (unsigned): pc += imm
+	OpJmp  // pc += imm
+	numOps
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpHalt: "halt", OpAdd: "add", OpSub: "sub", OpAnd: "and",
+	OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr", OpMul: "mul",
+	OpDiv: "div", OpAddi: "addi", OpMovi: "movi", OpLd: "ld", OpSt: "st",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpJmp: "jmp",
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op       Op
+	Rd       uint8
+	Rs1, Rs2 uint8
+	Imm      int32 // sign-extended imm14
+}
+
+// immBits is the width of the immediate field.
+const immBits = 14
+
+// immMax and immMin bound the encodable immediate.
+const (
+	immMax = 1<<(immBits-1) - 1
+	immMin = -(1 << (immBits - 1))
+)
+
+// Encode packs the instruction into its 32-bit form. It returns an error
+// if a field is out of range.
+func Encode(in Inst) (uint32, error) {
+	if in.Op >= numOps {
+		return 0, fmt.Errorf("isa: bad opcode %d", in.Op)
+	}
+	if in.Rd > 15 || in.Rs1 > 15 || in.Rs2 > 15 {
+		return 0, fmt.Errorf("isa: register out of range in %+v", in)
+	}
+	if in.Imm > immMax || in.Imm < immMin {
+		return 0, fmt.Errorf("isa: immediate %d out of range", in.Imm)
+	}
+	w := uint32(in.Op)<<26 | uint32(in.Rd)<<22 | uint32(in.Rs1)<<18 |
+		uint32(in.Rs2)<<14 | uint32(in.Imm)&(1<<immBits-1)
+	return w, nil
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> 26)
+	if op >= numOps {
+		return Inst{}, fmt.Errorf("isa: bad opcode %d in %#x", op, w)
+	}
+	imm := int32(w & (1<<immBits - 1))
+	if imm&(1<<(immBits-1)) != 0 {
+		imm -= 1 << immBits
+	}
+	return Inst{
+		Op:  op,
+		Rd:  uint8(w >> 22 & 0xF),
+		Rs1: uint8(w >> 18 & 0xF),
+		Rs2: uint8(w >> 14 & 0xF),
+		Imm: imm,
+	}, nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpAddi:
+		return fmt.Sprintf("addi r%d, r%d, %d", in.Rd, in.Rs1, in.Imm)
+	case OpMovi:
+		return fmt.Sprintf("movi r%d, %d", in.Rd, in.Imm)
+	case OpLd:
+		return fmt.Sprintf("ld r%d, r%d, %d", in.Rd, in.Rs1, in.Imm)
+	case OpSt:
+		return fmt.Sprintf("st r%d, r%d, %d", in.Rs2, in.Rs1, in.Imm)
+	case OpBeq, OpBne, OpBlt:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	default:
+		return fmt.Sprintf("%s rd=%d rs1=%d rs2=%d imm=%d", in.Op, in.Rd, in.Rs1, in.Rs2, in.Imm)
+	}
+}
+
+// Assemble translates assembler text into instruction words. Syntax, one
+// instruction per line:
+//
+//	; comment            — semicolon or # starts a comment
+//	label:               — branch target
+//	add r1, r2, r3
+//	movi r1, 42
+//	ld r1, r2, 4         — rd, base, offset
+//	st r1, r2, 4         — src, base, offset
+//	beq r1, r2, label    — label or numeric word offset
+//	jmp label
+func Assemble(src string) ([]uint32, error) {
+	type pending struct {
+		line  int
+		index int
+		label string
+	}
+	var insts []Inst
+	labels := map[string]int{}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			i := strings.Index(line, ":")
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(insts)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		mnemonic := strings.ToLower(fields[0])
+		op, ok := opByName[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNo+1, mnemonic)
+		}
+		args := fields[1:]
+		in := Inst{Op: op}
+		argErr := func() error {
+			return fmt.Errorf("isa: line %d: bad operands for %s: %q", lineNo+1, mnemonic, line)
+		}
+		switch op {
+		case OpNop, OpHalt:
+			if len(args) != 0 {
+				return nil, argErr()
+			}
+		case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv:
+			if len(args) != 3 {
+				return nil, argErr()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, argErr()
+			}
+			if in.Rs1, err = parseReg(args[1]); err != nil {
+				return nil, argErr()
+			}
+			if in.Rs2, err = parseReg(args[2]); err != nil {
+				return nil, argErr()
+			}
+		case OpAddi, OpLd:
+			if len(args) != 3 {
+				return nil, argErr()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, argErr()
+			}
+			if in.Rs1, err = parseReg(args[1]); err != nil {
+				return nil, argErr()
+			}
+			imm, err := strconv.ParseInt(args[2], 0, 32)
+			if err != nil {
+				return nil, argErr()
+			}
+			in.Imm = int32(imm)
+		case OpSt:
+			if len(args) != 3 {
+				return nil, argErr()
+			}
+			var err error
+			if in.Rs2, err = parseReg(args[0]); err != nil {
+				return nil, argErr()
+			}
+			if in.Rs1, err = parseReg(args[1]); err != nil {
+				return nil, argErr()
+			}
+			imm, err := strconv.ParseInt(args[2], 0, 32)
+			if err != nil {
+				return nil, argErr()
+			}
+			in.Imm = int32(imm)
+		case OpMovi:
+			if len(args) != 2 {
+				return nil, argErr()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, argErr()
+			}
+			imm, err := strconv.ParseInt(args[1], 0, 32)
+			if err != nil {
+				return nil, argErr()
+			}
+			in.Imm = int32(imm)
+		case OpBeq, OpBne, OpBlt:
+			if len(args) != 3 {
+				return nil, argErr()
+			}
+			var err error
+			if in.Rs1, err = parseReg(args[0]); err != nil {
+				return nil, argErr()
+			}
+			if in.Rs2, err = parseReg(args[1]); err != nil {
+				return nil, argErr()
+			}
+			if imm, err := strconv.ParseInt(args[2], 0, 32); err == nil {
+				in.Imm = int32(imm)
+			} else {
+				fixups = append(fixups, pending{lineNo + 1, len(insts), args[2]})
+			}
+		case OpJmp:
+			if len(args) != 1 {
+				return nil, argErr()
+			}
+			if imm, err := strconv.ParseInt(args[0], 0, 32); err == nil {
+				in.Imm = int32(imm)
+			} else {
+				fixups = append(fixups, pending{lineNo + 1, len(insts), args[0]})
+			}
+		}
+		insts = append(insts, in)
+	}
+
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", fx.line, fx.label)
+		}
+		// Branch offsets are relative to the following instruction.
+		insts[fx.index].Imm = int32(target - (fx.index + 1))
+	}
+
+	words := make([]uint32, len(insts))
+	for i, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, err
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("isa: bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 15 {
+		return 0, fmt.Errorf("isa: bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// Disassemble renders a program as assembler text, one instruction per
+// line.
+func Disassemble(words []uint32) (string, error) {
+	var b strings.Builder
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return "", fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		fmt.Fprintf(&b, "%s\n", in)
+	}
+	return b.String(), nil
+}
+
+// Mnemonics returns all assembler mnemonics, sorted (for tooling help
+// output).
+func Mnemonics() []string {
+	out := make([]string, 0, len(opByName))
+	for n := range opByName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,239 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpMul, Rd: 15, Rs1: 15, Rs2: 15},
+		{Op: OpAddi, Rd: 4, Rs1: 5, Imm: -1},
+		{Op: OpMovi, Rd: 6, Imm: immMax},
+		{Op: OpMovi, Rd: 6, Imm: immMin},
+		{Op: OpLd, Rd: 7, Rs1: 8, Imm: 100},
+		{Op: OpSt, Rs1: 9, Rs2: 10, Imm: -100},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -5},
+		{Op: OpJmp, Imm: 1000},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", w, err)
+		}
+		if got != in {
+			t.Fatalf("roundtrip: %+v -> %+v", in, got)
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(Inst{Op: numOps}); err == nil {
+		t.Fatal("bad opcode accepted")
+	}
+	if _, err := Encode(Inst{Op: OpAdd, Rd: 16}); err == nil {
+		t.Fatal("bad register accepted")
+	}
+	if _, err := Encode(Inst{Op: OpMovi, Imm: immMax + 1}); err == nil {
+		t.Fatal("oversized immediate accepted")
+	}
+	if _, err := Encode(Inst{Op: OpMovi, Imm: immMin - 1}); err == nil {
+		t.Fatal("undersized immediate accepted")
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 26); err == nil {
+		t.Fatal("bad opcode word accepted")
+	}
+}
+
+func TestQuickImmRoundTrip(t *testing.T) {
+	f := func(raw int16) bool {
+		imm := int32(raw) % (immMax + 1)
+		in := Inst{Op: OpMovi, Rd: 1, Imm: imm}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out.Imm == imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+		; sum the numbers 1..10 into r3
+		movi r1, 10      ; counter
+		movi r2, 0       ; unused
+		movi r3, 0       ; accumulator
+	loop:
+		add r3, r3, r1
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt
+	`
+	words, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 7 {
+		t.Fatalf("got %d instructions", len(words))
+	}
+	// The bne must jump back 3 instructions (to index 3 from index 6).
+	in, _ := Decode(words[5])
+	if in.Op != OpBne || in.Imm != -3 {
+		t.Fatalf("branch = %+v", in)
+	}
+}
+
+func TestAssembleAllForms(t *testing.T) {
+	src := `
+		nop
+		movi r1, 5
+		addi r2, r1, 3
+		add r3, r1, r2
+		sub r4, r3, r1
+		and r5, r3, r4
+		or r6, r5, r1
+		xor r7, r6, r1
+		shl r8, r1, r2
+		shr r9, r8, r2
+		mul r10, r1, r2
+		div r11, r10, r1
+		st r11, r0, 7
+		ld r12, r0, 7
+		beq r12, r11, done
+		jmp done
+	done:
+		halt
+	`
+	words, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 17 {
+		t.Fatalf("got %d instructions", len(words))
+	}
+	// Round-trip through the disassembler and reassemble.
+	text, err := Disassemble(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly: %v\n%s", err, text)
+	}
+	if len(words2) != len(words) {
+		t.Fatal("reassembly length differs")
+	}
+	for i := range words {
+		if words[i] != words2[i] {
+			t.Fatalf("instruction %d differs after round trip", i)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate r1, r2, r3",  // unknown mnemonic
+		"add r1, r2",             // missing operand
+		"add r1, r2, r16",        // bad register
+		"movi r1",                // missing immediate
+		"movi r1, lots",          // non-numeric immediate
+		"beq r1, r2, nowhere",    // undefined label
+		"x: y z: add r1, r2, r3", // bad label with spaces
+		"dup: nop\ndup: nop",     // duplicate label
+		"halt r1",                // operands on nullary op
+		"movi r1, 99999",         // immediate out of range (encode)
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Fatalf("assembled bad source %q", src)
+		}
+	}
+}
+
+func TestAssembleEmptyAndComments(t *testing.T) {
+	words, err := Assemble("; nothing here\n\n   # also nothing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 0 {
+		t.Fatalf("got %d instructions from comments", len(words))
+	}
+}
+
+func TestAssembleLabelOnOwnLine(t *testing.T) {
+	words, err := Assemble("start:\n  jmp start\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := Decode(words[0])
+	if in.Op != OpJmp || in.Imm != -1 {
+		t.Fatalf("jmp = %+v", in)
+	}
+}
+
+func TestAssembleNumericBranchOffset(t *testing.T) {
+	words, err := Assemble("beq r1, r2, -2\njmp 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in0, _ := Decode(words[0])
+	in1, _ := Decode(words[1])
+	if in0.Imm != -2 || in1.Imm != 3 {
+		t.Fatalf("offsets = %d, %d", in0.Imm, in1.Imm)
+	}
+}
+
+func TestInstStringCoverage(t *testing.T) {
+	forms := []Inst{
+		{Op: OpNop}, {Op: OpHalt},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpAddi, Rd: 1, Rs1: 2, Imm: 5},
+		{Op: OpMovi, Rd: 1, Imm: 5},
+		{Op: OpLd, Rd: 1, Rs1: 2, Imm: 5},
+		{Op: OpSt, Rs1: 2, Rs2: 1, Imm: 5},
+		{Op: OpBlt, Rs1: 1, Rs2: 2, Imm: -1},
+		{Op: OpJmp, Imm: 9},
+	}
+	for _, in := range forms {
+		s := in.String()
+		if s == "" || strings.Contains(s, "%!") {
+			t.Fatalf("bad string for %+v: %q", in, s)
+		}
+	}
+}
+
+func TestMnemonicsSortedComplete(t *testing.T) {
+	ms := Mnemonics()
+	if len(ms) != len(opNames) {
+		t.Fatalf("mnemonics = %d, ops = %d", len(ms), len(opNames))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1] >= ms[i] {
+			t.Fatal("mnemonics not sorted")
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" {
+		t.Fatal("op name wrong")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Fatal("unknown op should include number")
+	}
+}

@@ -1,0 +1,319 @@
+// Package kvdb implements a miniature Spanner-style replicated key-value
+// store used to reproduce two of the paper's patterns:
+//
+//   - §2: "database index corruption leading to some queries, depending on
+//     which replica (core) serves them, being non-deterministically
+//     corrupted" — each replica maintains its own secondary index with
+//     fingerprints computed on that replica's core; a mercurial replica
+//     mis-indexes records, so index lookups give wrong answers only when
+//     that replica serves the query.
+//   - §6: "other systems execute the same update logic, in parallel, at
+//     several replicas ... we can exploit these dual computations to
+//     detect CEEs" — reads can compare two replicas and flag divergence.
+//
+// Record checksums (Spanner "uses checksums in multiple ways") guard the
+// value payloads; the index fingerprints are the unprotected metadata path
+// that produces the replica-dependent incident.
+package kvdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ecc"
+	"repro/internal/engine"
+)
+
+// Errors returned by the database.
+var (
+	ErrNotFound  = errors.New("kvdb: key not found")
+	ErrCorrupt   = errors.New("kvdb: record checksum mismatch")
+	ErrDivergent = errors.New("kvdb: replicas diverge")
+)
+
+// record is one replicated row.
+type record struct {
+	value []byte
+	crc   uint32
+}
+
+// Replica is one copy of the database bound to a serving core.
+type Replica struct {
+	ID     string
+	Engine *engine.Engine
+	rows   map[string]*record
+	// index maps a value fingerprint to the set of keys carrying it —
+	// the secondary index whose maintenance runs on this replica's core.
+	index map[uint64]map[string]bool
+}
+
+// NewReplica returns an empty replica served by e.
+func NewReplica(id string, e *engine.Engine) *Replica {
+	return &Replica{
+		ID: id, Engine: e,
+		rows:  map[string]*record{},
+		index: map[uint64]map[string]bool{},
+	}
+}
+
+// fingerprint computes the index fingerprint of a value on this replica's
+// core. This is the computation the §2 incident corrupts.
+func (r *Replica) fingerprint(value []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range value {
+		h = r.Engine.Xor64(h, uint64(b))
+		h = r.Engine.Mul64(h, 1099511628211)
+	}
+	return h
+}
+
+// apply executes the update logic locally: store the row (copy through the
+// replica's core) and maintain the secondary index.
+func (r *Replica) apply(key string, value []byte, clientCRC uint32) {
+	if old, ok := r.rows[key]; ok {
+		oldFP := r.fingerprint(old.value)
+		if set := r.index[oldFP]; set != nil {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(r.index, oldFP)
+			}
+		}
+	}
+	stored := make([]byte, len(value))
+	r.Engine.Copy(stored, value)
+	r.rows[key] = &record{value: stored, crc: clientCRC}
+	fp := r.fingerprint(stored)
+	set := r.index[fp]
+	if set == nil {
+		set = map[string]bool{}
+		r.index[fp] = set
+	}
+	set[key] = true
+}
+
+// get reads a row and verifies its checksum on the replica's core.
+func (r *Replica) get(key string) ([]byte, error) {
+	rec, ok := r.rows[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(rec.value))
+	r.Engine.Copy(out, rec.value)
+	if ecc.CRC32C(r.Engine, out) != rec.crc {
+		return nil, fmt.Errorf("%w: key %q on replica %s", ErrCorrupt, key, r.ID)
+	}
+	return out, nil
+}
+
+// lookupByValue answers a secondary-index query: which keys carry value?
+func (r *Replica) lookupByValue(value []byte) []string {
+	fp := r.fingerprint(value)
+	set := r.index[fp]
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DB is the replicated database.
+type DB struct {
+	replicas []*Replica
+	// next implements round-robin replica selection for reads, the
+	// "depending on which replica serves them" nondeterminism.
+	next int
+	// Stats counts detection events.
+	Stats Stats
+}
+
+// Stats tracks database-level detection accounting.
+type Stats struct {
+	Writes, Reads     int
+	CorruptReads      int
+	DivergenceCaught  int
+	IndexQueries      int
+	IndexDivergence   int
+	Repairs           int
+	ChecksumRejectsAt map[string]int
+}
+
+// New returns a database over the given replicas (at least one).
+func New(replicas ...*Replica) (*DB, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("kvdb: need at least one replica")
+	}
+	return &DB{
+		replicas: replicas,
+		Stats:    Stats{ChecksumRejectsAt: map[string]int{}},
+	}, nil
+}
+
+// Replicas returns the replica count.
+func (db *DB) Replicas() int { return len(db.replicas) }
+
+// Put writes the row through every replica's own core (parallel update
+// logic, as §6 describes). The client computes the record checksum once,
+// natively.
+func (db *DB) Put(key string, value []byte) {
+	db.Stats.Writes++
+	crc := ecc.CRC32CGolden(value)
+	for _, r := range db.replicas {
+		r.apply(key, value, crc)
+	}
+}
+
+// pick returns the next serving replica (round-robin).
+func (db *DB) pick() *Replica {
+	r := db.replicas[db.next%len(db.replicas)]
+	db.next++
+	return r
+}
+
+// Get serves the read from one replica, verifying the record checksum.
+func (db *DB) Get(key string) ([]byte, error) {
+	db.Stats.Reads++
+	v, err := db.pick().get(key)
+	if errors.Is(err, ErrCorrupt) {
+		db.Stats.CorruptReads++
+	}
+	return v, err
+}
+
+// GetCompared reads from two distinct replicas and compares — the dual-
+// computation CEE detector. It returns ErrDivergent when both reads
+// succeed with different bytes.
+func (db *DB) GetCompared(key string) ([]byte, error) {
+	db.Stats.Reads++
+	if len(db.replicas) < 2 {
+		return db.pick().get(key)
+	}
+	a := db.pick()
+	b := db.pick()
+	va, errA := a.get(key)
+	vb, errB := b.get(key)
+	switch {
+	case errA == nil && errB == nil:
+		if !bytes.Equal(va, vb) {
+			db.Stats.DivergenceCaught++
+			return nil, fmt.Errorf("%w: key %q (%s vs %s)", ErrDivergent, key, a.ID, b.ID)
+		}
+		return va, nil
+	case errA == nil:
+		if errors.Is(errB, ErrCorrupt) {
+			db.Stats.CorruptReads++
+		}
+		return va, nil
+	case errB == nil:
+		if errors.Is(errA, ErrCorrupt) {
+			db.Stats.CorruptReads++
+		}
+		return vb, nil
+	default:
+		return nil, errA
+	}
+}
+
+// ReadRepair reads the row from every replica, majority-votes the value
+// (§6's dual computations, extended to healing), rewrites out-voted or
+// corrupt replicas from the winner, and returns the repaired value. It
+// returns ErrDivergent when no majority exists.
+func (db *DB) ReadRepair(key string) ([]byte, error) {
+	db.Stats.Reads++
+	type vote struct {
+		val []byte
+		n   int
+	}
+	var votes []vote
+	found := false
+	for _, r := range db.replicas {
+		v, err := r.get(key)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				db.Stats.CorruptReads++
+			}
+			continue
+		}
+		found = true
+		matched := false
+		for i := range votes {
+			if bytes.Equal(votes[i].val, v) {
+				votes[i].n++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			votes = append(votes, vote{val: v, n: 1})
+		}
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	need := len(db.replicas)/2 + 1
+	var winner []byte
+	for _, v := range votes {
+		if v.n >= need {
+			winner = v.val
+			break
+		}
+	}
+	if winner == nil {
+		db.Stats.DivergenceCaught++
+		return nil, fmt.Errorf("%w: no majority for key %q", ErrDivergent, key)
+	}
+	// Heal every replica that failed its checksum or lost the vote. The
+	// repair write recomputes the row from the winner's bytes with a
+	// fresh client-side checksum.
+	crc := ecc.CRC32CGolden(winner)
+	for _, r := range db.replicas {
+		v, err := r.get(key)
+		if err == nil && bytes.Equal(v, winner) {
+			continue
+		}
+		r.apply(key, winner, crc)
+		db.Stats.Repairs++
+	}
+	return winner, nil
+}
+
+// QueryByValue answers a secondary-index query from one replica — the
+// §2 incident path: on a mercurial replica the answer is wrong only when
+// that replica serves the query.
+func (db *DB) QueryByValue(value []byte) []string {
+	db.Stats.IndexQueries++
+	return db.pick().lookupByValue(value)
+}
+
+// QueryByValueCompared runs the index query on two replicas and reports
+// divergence — how the incident was eventually root-caused.
+func (db *DB) QueryByValueCompared(value []byte) ([]string, error) {
+	db.Stats.IndexQueries++
+	if len(db.replicas) < 2 {
+		return db.pick().lookupByValue(value), nil
+	}
+	a := db.pick()
+	b := db.pick()
+	ka := a.lookupByValue(value)
+	kb := b.lookupByValue(value)
+	if !equalStrings(ka, kb) {
+		db.Stats.IndexDivergence++
+		return nil, fmt.Errorf("%w: index query (%s: %v vs %s: %v)",
+			ErrDivergent, a.ID, ka, b.ID, kb)
+	}
+	return ka, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

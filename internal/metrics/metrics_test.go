@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/screen"
+)
+
+func testFleetConfig() fleet.Config {
+	cfg := fleet.DefaultConfig()
+	cfg.Machines = 400
+	cfg.CoresPerMachine = 16
+	cfg.DefectsPerMachine = 0.05
+	cfg.Seed = 7
+	cfg.ConfessionConfig = screen.Config{Passes: 30, Points: screen.SweepPoints(2, 1, 2),
+		StopOnDetect: true, MaxOps: 8_000_000}
+	return cfg
+}
+
+func TestDetectionReport(t *testing.T) {
+	f := fleet.New(testFleetConfig())
+	const days = 45
+	f.Run(days)
+	rep := Detection(f, days)
+	if rep.TotalDefective != len(f.Defects()) {
+		t.Fatalf("total = %d, want %d", rep.TotalDefective, len(f.Defects()))
+	}
+	if rep.PastOnset > rep.TotalDefective || rep.PastOnset == 0 {
+		t.Fatalf("past onset = %d of %d", rep.PastOnset, rep.TotalDefective)
+	}
+	if rep.TruePositive+rep.FalsePositive != rep.Quarantined {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+	if rep.Quarantined == 0 {
+		t.Fatal("nothing quarantined; detection pipeline inert")
+	}
+	if f := rep.DetectedFraction(); f < 0 || f > 1 {
+		t.Fatalf("detected fraction = %v", f)
+	}
+	for _, l := range rep.LatencyDays {
+		if l < 0 || l > days {
+			t.Fatalf("latency %v out of range", l)
+		}
+	}
+	if len(rep.LatencyDays) != rep.TruePositive {
+		t.Fatalf("latencies %d != TP %d", len(rep.LatencyDays), rep.TruePositive)
+	}
+	if rep.MeanLatencyDays() < 0 {
+		t.Fatal("negative mean latency")
+	}
+}
+
+func TestDetectedFractionEmpty(t *testing.T) {
+	if (DetectionReport{}).DetectedFraction() != 0 {
+		t.Fatal("empty report fraction should be 0")
+	}
+	if (DetectionReport{}).MeanLatencyDays() != 0 {
+		t.Fatal("empty report latency should be 0")
+	}
+}
+
+func TestOnsetDistribution(t *testing.T) {
+	f := fleet.New(testFleetConfig())
+	onsets := OnsetDistributionDays(f)
+	if len(onsets) != len(f.Defects()) {
+		t.Fatalf("onsets = %d", len(onsets))
+	}
+	immediate, latent := 0, 0
+	for _, o := range onsets {
+		if o < 0 {
+			t.Fatalf("negative onset %v", o)
+		}
+		if o == 0 {
+			immediate++
+		} else {
+			latent++
+		}
+	}
+	// The catalog makes ~40% of defects latent; with a mixed population
+	// both kinds must be present.
+	if immediate == 0 || latent == 0 {
+		t.Fatalf("population not mixed: immediate=%d latent=%d", immediate, latent)
+	}
+}
+
+func TestAppVisibility(t *testing.T) {
+	days := []fleet.DayStats{
+		{Corruptions: 100, ByOutcome: [5]int64{25, 15, 5, 10, 45}},
+		{Corruptions: 100, ByOutcome: [5]int64{25, 15, 5, 10, 45}},
+	}
+	av := AppVisibility(days, 10)
+	if math.Abs(av.CorruptionsPerMachineDay-10) > 1e-9 {
+		t.Fatalf("corruptions/machine-day = %v", av.CorruptionsPerMachineDay)
+	}
+	if math.Abs(av.DetectedPerMachineDay-3.5) > 1e-9 {
+		t.Fatalf("detected/machine-day = %v", av.DetectedPerMachineDay)
+	}
+	if math.Abs(av.SilentFraction-0.45) > 1e-9 {
+		t.Fatalf("silent fraction = %v", av.SilentFraction)
+	}
+	if math.Abs(av.CrashFraction-0.20) > 1e-9 {
+		t.Fatalf("crash fraction = %v", av.CrashFraction)
+	}
+}
+
+func TestAppVisibilityEmpty(t *testing.T) {
+	if av := AppVisibility(nil, 10); av.CorruptionsPerMachineDay != 0 {
+		t.Fatal("empty series should be zero")
+	}
+	if av := AppVisibility([]fleet.DayStats{{}}, 10); av.SilentFraction != 0 {
+		t.Fatal("zero corruptions should give zero fractions")
+	}
+}
+
+func TestCoverageCurveMonotoneTrend(t *testing.T) {
+	// E12: more corpus coverage should never dramatically reduce the
+	// detected fraction; typically it rises.
+	cfg := testFleetConfig()
+	cfg.Machines = 300
+	pts := CoverageCurve(cfg, []int{1, 13}, 30)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Workloads != 1 || pts[1].Workloads != 13 {
+		t.Fatalf("workload labels wrong: %+v", pts)
+	}
+	if pts[1].DetectedFraction < pts[0].DetectedFraction {
+		t.Fatalf("full corpus (%v) detected less than single workload (%v)",
+			pts[1].DetectedFraction, pts[0].DetectedFraction)
+	}
+}

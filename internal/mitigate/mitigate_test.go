@@ -1,0 +1,297 @@
+package mitigate
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+// sumComp is a simple deterministic computation: sum 0..999 through the
+// engine and serialize the result.
+func sumComp(e *engine.Engine) []byte {
+	var s uint64
+	for i := uint64(0); i < 1000; i++ {
+		s = e.Add64(s, i)
+	}
+	return []byte(fmt.Sprintf("%d", s))
+}
+
+const sumWant = "499500"
+
+func healthyPool(n int, seed uint64) []*fault.Core {
+	rng := xrand.New(seed)
+	cores := make([]*fault.Core, n)
+	for i := range cores {
+		cores[i] = fault.NewCore(fmt.Sprintf("h%d", i), rng)
+	}
+	return cores
+}
+
+// poolWithBadCore returns n cores where core 0 corrupts every add.
+func poolWithBadCore(n int, seed uint64) []*fault.Core {
+	cores := healthyPool(n, seed)
+	// Off-by-delta compounds across the additions, so the bad core's
+	// output provably differs from the healthy result (bit-flip defects
+	// can telescope away over a running sum).
+	d := fault.Defect{ID: "d", Unit: fault.UnitALU, Deterministic: true,
+		Kind: fault.CorruptOffByOne, Delta: 5}
+	cores[0] = fault.NewCore("bad", xrand.New(seed+100), d)
+	return cores
+}
+
+func TestOnceHealthy(t *testing.T) {
+	x := NewExecutor(healthyPool(4, 1), 2)
+	out, st, err := x.Once(sumComp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sumWant {
+		t.Fatalf("out = %s", out)
+	}
+	if st.Executions != 1 || st.Ops == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDMRAgreesOnHealthyPool(t *testing.T) {
+	x := NewExecutor(healthyPool(4, 3), 4)
+	out, st, err := x.DMR(sumComp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sumWant {
+		t.Fatalf("out = %s", out)
+	}
+	if st.Executions != 2 || st.Disagreements != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDMRRecoversFromBadCore(t *testing.T) {
+	// With one always-bad core in a pool of 4, the first pair may
+	// disagree; DMR must converge to the correct answer.
+	for seed := uint64(0); seed < 10; seed++ {
+		x := NewExecutor(poolWithBadCore(4, seed), seed+50)
+		out, st, err := x.DMR(sumComp, 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v (stats %+v)", seed, err, st)
+		}
+		if string(out) != sumWant {
+			t.Fatalf("seed %d: wrong answer %s survived DMR", seed, out)
+		}
+	}
+}
+
+func TestDMRCostIsTwiceBaseline(t *testing.T) {
+	x := NewExecutor(healthyPool(4, 5), 6)
+	_, stOnce, _ := x.Once(sumComp)
+	_, stDMR, _ := x.DMR(sumComp, 3)
+	ratio := float64(stDMR.Ops) / float64(stOnce.Ops)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("DMR cost ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestDMRPoolTooSmall(t *testing.T) {
+	x := NewExecutor(healthyPool(1, 7), 8)
+	if _, _, err := x.DMR(sumComp, 2); err == nil {
+		t.Fatal("DMR on one core should fail")
+	}
+}
+
+func TestTMROutvotesBadCore(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		x := NewExecutor(poolWithBadCore(3, seed), seed+60)
+		out, st, err := x.TMR(sumComp)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if string(out) != sumWant {
+			t.Fatalf("seed %d: TMR produced wrong answer %s", seed, out)
+		}
+		if st.Executions != 3 {
+			t.Fatalf("stats = %+v", st)
+		}
+		// The bad core always corrupts, so one replica disagreed.
+		if st.Disagreements != 1 {
+			t.Fatalf("disagreements = %d, want 1", st.Disagreements)
+		}
+	}
+}
+
+func TestTMRCostIsThriceBaseline(t *testing.T) {
+	x := NewExecutor(healthyPool(4, 9), 10)
+	_, stOnce, _ := x.Once(sumComp)
+	_, stTMR, _ := x.TMR(sumComp)
+	ratio := float64(stTMR.Ops) / float64(stOnce.Ops)
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Fatalf("TMR cost ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestTMRNoQuorumWhenMajorityBad(t *testing.T) {
+	// Two different always-bad cores + one healthy: three distinct
+	// answers, no quorum.
+	cores := healthyPool(3, 11)
+	cores[0] = fault.NewCore("bad0", xrand.New(200), fault.Defect{
+		ID: "d0", Unit: fault.UnitALU, Deterministic: true,
+		Kind: fault.CorruptOffByOne, Delta: 1})
+	cores[1] = fault.NewCore("bad1", xrand.New(201), fault.Defect{
+		ID: "d1", Unit: fault.UnitALU, Deterministic: true,
+		Kind: fault.CorruptOffByOne, Delta: 2})
+	x := NewExecutor(cores, 12)
+	_, _, err := x.TMR(sumComp)
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestNModularValidation(t *testing.T) {
+	x := NewExecutor(healthyPool(5, 13), 14)
+	if _, _, err := x.NModular(sumComp, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, _, err := x.NModular(sumComp, 9); err == nil {
+		t.Fatal("n beyond pool accepted")
+	}
+	out, st, err := x.NModular(sumComp, 5)
+	if err != nil || string(out) != sumWant || st.Executions != 5 {
+		t.Fatalf("5-modular: %v %s %+v", err, out, st)
+	}
+}
+
+func TestNModularOneIsBaseline(t *testing.T) {
+	x := NewExecutor(healthyPool(2, 15), 16)
+	out, st, err := x.NModular(sumComp, 1)
+	if err != nil || string(out) != sumWant || st.Executions != 1 {
+		t.Fatalf("1-modular: %v %s %+v", err, out, st)
+	}
+}
+
+func TestCheckpointedHappyPath(t *testing.T) {
+	x := NewExecutor(healthyPool(3, 17), 18)
+	steps := []Step{
+		{
+			Name: "add",
+			Do: func(e *engine.Engine, state []byte) []byte {
+				return append(state, byte(e.Add64(1, 1)))
+			},
+			Check: func(s []byte) bool { return len(s) > 0 && s[len(s)-1] == 2 },
+		},
+		{
+			Name: "double",
+			Do: func(e *engine.Engine, state []byte) []byte {
+				return append(state, byte(e.Mul64(uint64(state[len(state)-1]), 2)))
+			},
+			Check: func(s []byte) bool { return s[len(s)-1] == 4 },
+		},
+	}
+	out, st, err := x.RunCheckpointed(steps, []byte{9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != 9 || out[1] != 2 || out[2] != 4 {
+		t.Fatalf("out = %v", out)
+	}
+	if st.Recoveries != 0 || st.Retries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckpointedRecoversOnDifferentCore(t *testing.T) {
+	// Pool: one always-bad core among three. Steps that fail their
+	// invariant on the bad core must be retried elsewhere and recover.
+	for seed := uint64(0); seed < 10; seed++ {
+		x := NewExecutor(poolWithBadCore(3, seed), seed+70)
+		steps := []Step{{
+			Name: "sum",
+			Do: func(e *engine.Engine, state []byte) []byte {
+				var s uint64
+				for i := uint64(0); i < 100; i++ {
+					s = e.Add64(s, i)
+				}
+				return []byte(fmt.Sprintf("%d", s))
+			},
+			Check: func(s []byte) bool { return string(s) == "4950" },
+		}}
+		out, _, err := x.RunCheckpointed(steps, nil, 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if string(out) != "4950" {
+			t.Fatalf("seed %d: out = %s", seed, out)
+		}
+	}
+}
+
+func TestCheckpointedExhaustsRetries(t *testing.T) {
+	x := NewExecutor(healthyPool(2, 19), 20)
+	steps := []Step{{
+		Name:  "impossible",
+		Do:    func(e *engine.Engine, state []byte) []byte { return state },
+		Check: func([]byte) bool { return false },
+	}}
+	_, st, err := x.RunCheckpointed(steps, nil, 2)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Retries != 3 { // initial + 2 retries, all failed
+		t.Fatalf("retries = %d", st.Retries)
+	}
+}
+
+func TestCheckpointedNilDoRejected(t *testing.T) {
+	x := NewExecutor(healthyPool(1, 21), 22)
+	if _, _, err := x.RunCheckpointed([]Step{{Name: "broken"}}, nil, 1); err == nil {
+		t.Fatal("nil Do accepted")
+	}
+}
+
+func TestCheckpointStatePassedBetweenSteps(t *testing.T) {
+	x := NewExecutor(healthyPool(2, 23), 24)
+	steps := make([]Step, 5)
+	for i := range steps {
+		steps[i] = Step{
+			Name: fmt.Sprintf("s%d", i),
+			Do: func(e *engine.Engine, state []byte) []byte {
+				return append(state, byte(len(state)))
+			},
+		}
+	}
+	out, _, err := x.RunCheckpointed(steps, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("out = %v", out)
+	}
+	for i, b := range out {
+		if int(b) != i {
+			t.Fatalf("state chain broken: %v", out)
+		}
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if NewExecutor(healthyPool(7, 25), 26).PoolSize() != 7 {
+		t.Fatal("PoolSize wrong")
+	}
+}
+
+func BenchmarkOnce(b *testing.B) {
+	x := NewExecutor(healthyPool(4, 1), 2)
+	for i := 0; i < b.N; i++ {
+		x.Once(sumComp)
+	}
+}
+
+func BenchmarkTMR(b *testing.B) {
+	x := NewExecutor(healthyPool(4, 1), 2)
+	for i := 0; i < b.N; i++ {
+		x.TMR(sumComp)
+	}
+}

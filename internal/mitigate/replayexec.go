@@ -1,0 +1,77 @@
+package mitigate
+
+import (
+	"bytes"
+
+	"repro/internal/engine"
+	"repro/internal/replay"
+)
+
+// ReplayComputation is a computation with a nondeterministic input
+// boundary: all external inputs must be read through in, so replicas can
+// be fed the identical sequence. Output bytes are the votable result.
+type ReplayComputation func(e *engine.Engine, in replay.Source) ([]byte, error)
+
+// TMRWithReplay implements §7's replicated-execution sketch for
+// nondeterministic computations: the first execution runs against live
+// inputs through rec (recording them), then two replicas replay the tape
+// on different cores, and the three outputs are majority-voted. Replica
+// control-flow divergence (tape exhaustion or kind mismatch) counts as a
+// failed replica — it is itself a CEE symptom, since with identical
+// inputs only the hardware can differ.
+func (x *Executor) TMRWithReplay(comp ReplayComputation, rec *replay.Recorder) ([]byte, Stats, error) {
+	var st Stats
+	idx, err := x.pick(3, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	outs := make([][]byte, 0, 3)
+
+	// Primary: live inputs, recorded.
+	primary, err := func() (out []byte, err error) {
+		core := x.cores[idx[0]]
+		before := core.TotalOps()
+		defer func() {
+			st.Executions++
+			st.Ops += core.TotalOps() - before
+		}()
+		return comp(engine.New(core), rec)
+	}()
+	if err != nil {
+		return nil, st, err
+	}
+	outs = append(outs, primary)
+	tape := rec.Tape()
+
+	// Replicas: identical inputs from the tape.
+	for _, ci := range idx[1:] {
+		core := x.cores[ci]
+		before := core.TotalOps()
+		out, err := comp(engine.New(core), replay.NewReplayer(tape))
+		st.Executions++
+		st.Ops += core.TotalOps() - before
+		if err != nil {
+			st.Disagreements++
+			continue
+		}
+		outs = append(outs, out)
+	}
+
+	// Majority vote over the surviving outputs (2-of-3 needed).
+	for i, a := range outs {
+		votes := 1
+		for j, b := range outs {
+			if i != j && bytes.Equal(a, b) {
+				votes++
+			}
+		}
+		if votes >= 2 {
+			if votes != 3 {
+				st.Disagreements++
+			}
+			return a, st, nil
+		}
+	}
+	st.Disagreements++
+	return nil, st, ErrNoQuorum
+}

@@ -1,0 +1,274 @@
+package quarantine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/screen"
+	"repro/internal/xrand"
+)
+
+func cluster(t *testing.T, machines, cores int) *sched.Cluster {
+	t.Helper()
+	c := sched.NewCluster()
+	for i := 0; i < machines; i++ {
+		if _, err := c.AddMachine(fmt.Sprintf("m%d", i), cores); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func suspect(machine string, core, reports int) detect.Suspect {
+	return detect.Suspect{Machine: machine, Core: core, Reports: reports, PValue: 1e-9}
+}
+
+// confessWith returns a confess function backed by a real fault core.
+func confessWith(core *fault.Core, seed uint64) func(screen.Config) detect.Confession {
+	return func(cfg screen.Config) detect.Confession {
+		return detect.Confess(core, cfg, xrand.New(seed))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if MachineDrain.String() != "machine-drain" || CoreRemoval.String() != "core-removal" ||
+		SafeTasks.String() != "safe-tasks" {
+		t.Fatal("mode names wrong")
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Fatal("unknown mode should include number")
+	}
+}
+
+func TestCoreRemovalIsolatesOneCore(t *testing.T) {
+	cl := cluster(t, 2, 4)
+	m := NewManager(cl, Policy{Mode: CoreRemoval})
+	rec, err := m.Handle(suspect("m0", 2, 5), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("suspect declined")
+	}
+	cap := cl.Capacity()
+	if cap.Offline != 1 || cap.Schedulable != 7 {
+		t.Fatalf("capacity = %+v", cap)
+	}
+	if !m.Isolated(sched.CoreRef{Machine: "m0", Core: 2}) {
+		t.Fatal("not recorded as isolated")
+	}
+}
+
+func TestMachineDrainCostsWholeMachine(t *testing.T) {
+	cl := cluster(t, 2, 4)
+	m := NewManager(cl, Policy{Mode: MachineDrain})
+	if _, err := m.Handle(suspect("m0", 2, 5), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	cap := cl.Capacity()
+	if cap.DrainedMachines != 1 || cap.DrainedCores != 4 || cap.Schedulable != 4 {
+		t.Fatalf("capacity = %+v", cap)
+	}
+}
+
+func TestEvictedTasksAreReplaced(t *testing.T) {
+	cl := cluster(t, 2, 4)
+	for i := 0; i < 4; i++ {
+		cl.Place(&sched.Task{ID: fmt.Sprintf("t%d", i)})
+	}
+	m := NewManager(cl, Policy{Mode: MachineDrain})
+	rec, err := m.Handle(suspect("m0", 0, 5), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.EvictedTasks != 4 {
+		t.Fatalf("evicted = %d", rec.EvictedTasks)
+	}
+	if rec.ReplacedTasks != 4 {
+		t.Fatalf("replaced = %d", rec.ReplacedTasks)
+	}
+	for _, id := range cl.PlacedTasks() {
+		ref, _ := cl.Lookup(id)
+		if ref.Machine == "m0" {
+			t.Fatal("task still on drained machine")
+		}
+	}
+	if cl.Migrations != 4 {
+		t.Fatalf("migrations = %d", cl.Migrations)
+	}
+}
+
+func TestReplacementFailureCounted(t *testing.T) {
+	cl := cluster(t, 1, 2) // nowhere else to go
+	cl.Place(&sched.Task{ID: "a"})
+	cl.Place(&sched.Task{ID: "b"})
+	m := NewManager(cl, Policy{Mode: MachineDrain})
+	rec, err := m.Handle(suspect("m0", 0, 5), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.EvictedTasks != 2 || rec.ReplacedTasks != 0 {
+		t.Fatalf("rec = %+v", rec)
+	}
+}
+
+func TestScoreGateDeclines(t *testing.T) {
+	cl := cluster(t, 1, 4)
+	m := NewManager(cl, Policy{Mode: CoreRemoval, MinScore: 1e9})
+	rec, err := m.Handle(suspect("m0", 0, 2), 0, nil)
+	if err != nil || rec != nil {
+		t.Fatalf("expected decline: %v %v", rec, err)
+	}
+	if m.Declined != 1 {
+		t.Fatalf("declined = %d", m.Declined)
+	}
+	if cl.Capacity().Offline != 0 {
+		t.Fatal("core isolated despite decline")
+	}
+}
+
+func TestDoubleHandleIsIdempotent(t *testing.T) {
+	cl := cluster(t, 1, 4)
+	m := NewManager(cl, Policy{Mode: CoreRemoval})
+	if _, err := m.Handle(suspect("m0", 1, 5), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.Handle(suspect("m0", 1, 9), 1, nil)
+	if err != nil || rec != nil {
+		t.Fatalf("second handle should be a no-op: %v %v", rec, err)
+	}
+	if len(m.Records()) != 1 {
+		t.Fatalf("records = %d", len(m.Records()))
+	}
+}
+
+func TestConfessionGateExoneratesHealthyCore(t *testing.T) {
+	cl := cluster(t, 1, 4)
+	m := NewManager(cl, Policy{Mode: CoreRemoval, RequireConfession: true})
+	healthy := fault.NewCore("h", xrand.New(1))
+	rec, err := m.Handle(suspect("m0", 0, 5), 0, confessWith(healthy, 2))
+	if err != nil || rec != nil {
+		t.Fatalf("healthy core should be exonerated: %v %v", rec, err)
+	}
+	if m.Declined != 1 || cl.Capacity().Offline != 0 {
+		t.Fatal("exoneration accounting wrong")
+	}
+}
+
+func TestConfessionGateConvictsDefectiveCore(t *testing.T) {
+	cl := cluster(t, 1, 4)
+	m := NewManager(cl, Policy{Mode: CoreRemoval, RequireConfession: true})
+	d := fault.Defect{ID: "d", Unit: fault.UnitALU, BaseRate: 1e-4,
+		Kind: fault.CorruptBitFlip, BitPos: 5}
+	guilty := fault.NewCore("g", xrand.New(3), d)
+	rec, err := m.Handle(suspect("m0", 0, 5), 0, confessWith(guilty, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || !rec.Confessed {
+		t.Fatalf("defective core not convicted: %+v", rec)
+	}
+	if cl.Capacity().Offline != 1 {
+		t.Fatal("core not taken offline")
+	}
+}
+
+func TestSafeTasksRestrictsDefectiveUnit(t *testing.T) {
+	cl := cluster(t, 1, 2)
+	m := NewManager(cl, Policy{Mode: SafeTasks})
+	d := fault.Defect{ID: "d", Unit: fault.UnitCrypto, Deterministic: true,
+		Kind: fault.CorruptXORMask, Mask: 0xFF}
+	guilty := fault.NewCore("g", xrand.New(5), d)
+	rec, err := m.Handle(suspect("m0", 0, 5), 0, confessWith(guilty, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("suspect declined")
+	}
+	if len(rec.BannedUnits) == 0 {
+		t.Fatalf("no banned units derived: %+v", rec)
+	}
+	hasCrypto := false
+	for _, u := range rec.BannedUnits {
+		if u == fault.UnitCrypto {
+			hasCrypto = true
+		}
+	}
+	if !hasCrypto {
+		t.Fatalf("crypto unit not banned: %v", rec.BannedUnits)
+	}
+	cap := cl.Capacity()
+	if cap.Restricted != 1 {
+		t.Fatalf("capacity = %+v", cap)
+	}
+	// A crypto task must avoid the core; an ALU task may use it.
+	if _, err := cl.Place(&sched.Task{ID: "c1", Units: []fault.Unit{fault.UnitCrypto}}); err != nil {
+		t.Fatal(err) // lands on the healthy core 1
+	}
+	ref, err := cl.Place(&sched.Task{ID: "a1", Units: []fault.Unit{fault.UnitALU}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Core != 0 {
+		t.Fatalf("ALU task at %v, want restricted core 0", ref)
+	}
+}
+
+func TestSafeTasksFallsBackToRemovalWithoutAttribution(t *testing.T) {
+	cl := cluster(t, 1, 2)
+	m := NewManager(cl, Policy{Mode: SafeTasks})
+	// Healthy core: confession finds nothing, no units implicated.
+	// SafeTasks mode does not require confession, so the action proceeds
+	// as a full removal.
+	healthy := fault.NewCore("h", xrand.New(7))
+	rec, err := m.Handle(suspect("m0", 0, 5), 0, confessWith(healthy, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("declined")
+	}
+	if len(rec.BannedUnits) != 0 {
+		t.Fatalf("banned units for a silent confession: %v", rec.BannedUnits)
+	}
+	if cl.Capacity().Offline != 1 {
+		t.Fatal("fallback removal did not happen")
+	}
+}
+
+func TestBannedUnitsFromReport(t *testing.T) {
+	rep := screen.Report{}
+	if got := BannedUnits(rep); len(got) != 0 {
+		t.Fatalf("empty report banned %v", got)
+	}
+}
+
+func TestReleaseAllowsReQuarantine(t *testing.T) {
+	cl := cluster(t, 1, 4)
+	m := NewManager(cl, Policy{Mode: CoreRemoval})
+	ref := sched.CoreRef{Machine: "m0", Core: 1}
+	if _, err := m.Handle(suspect("m0", 1, 5), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Isolated(ref) {
+		t.Fatal("not isolated")
+	}
+	// Hardware replaced: release and restore the core.
+	m.Release(ref)
+	if m.Isolated(ref) {
+		t.Fatal("still isolated after release")
+	}
+	if _, err := cl.SetCoreState(ref, sched.CoreHealthy, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A new defect on the replaced slot can be quarantined again.
+	rec, err := m.Handle(suspect("m0", 1, 7), 100, nil)
+	if err != nil || rec == nil {
+		t.Fatalf("re-quarantine failed: %v %v", rec, err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package report implements §6's "simple RPC service that allows an
+// application to report a suspect core or CPU": an HTTP+JSON server that
+// feeds a detect.Tracker, plus the matching client used by applications
+// and infrastructure daemons.
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/detect"
+	"repro/internal/simtime"
+)
+
+// Report is the wire form of one suspect-core report.
+type Report struct {
+	Machine string  `json:"machine"`
+	Core    int     `json:"core"` // -1 when unattributed
+	Kind    string  `json:"kind"`
+	Detail  string  `json:"detail,omitempty"`
+	TimeSec float64 `json:"time_sec"`
+}
+
+// SuspectJSON is the wire form of one nominated suspect.
+type SuspectJSON struct {
+	Machine string  `json:"machine"`
+	Core    int     `json:"core"`
+	Reports int     `json:"reports"`
+	PValue  float64 `json:"p_value"`
+	Score   float64 `json:"score"`
+}
+
+// StatsJSON summarizes the service state.
+type StatsJSON struct {
+	TotalReports int `json:"total_reports"`
+	Machines     int `json:"machines"`
+	Suspects     int `json:"suspects"`
+}
+
+// kindFromString maps wire kinds to detect.SignalKind; unknown kinds map
+// to SigAppError so that forward-compatible clients degrade gracefully.
+func kindFromString(s string) detect.SignalKind {
+	switch s {
+	case "crash":
+		return detect.SigCrash
+	case "mce":
+		return detect.SigMCE
+	case "sanitizer":
+		return detect.SigSanitizer
+	case "app-error":
+		return detect.SigAppError
+	case "screen-fail":
+		return detect.SigScreenFail
+	case "user-report":
+		return detect.SigUserReport
+	default:
+		return detect.SigAppError
+	}
+}
+
+// Server is the suspect-report collection service.
+type Server struct {
+	mu      sync.Mutex
+	tracker *detect.Tracker
+	total   int
+	// OnSignal, if non-nil, observes every accepted signal (used by the
+	// fleet simulator to couple the service to its detection loop).
+	OnSignal func(detect.Signal)
+}
+
+// NewServer returns a server feeding a tracker shaped for machines with
+// coresPerMachine cores.
+func NewServer(coresPerMachine int) *Server {
+	return &Server{tracker: detect.NewTracker(coresPerMachine)}
+}
+
+// Handler returns the HTTP handler exposing the service API:
+//
+//	POST /v1/report   — submit a Report
+//	GET  /v1/suspects — list nominated suspects
+//	GET  /v1/stats    — service statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/suspects", s.handleSuspects)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var rep Report
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		http.Error(w, fmt.Sprintf("bad report: %v", err), http.StatusBadRequest)
+		return
+	}
+	if rep.Machine == "" {
+		http.Error(w, "machine required", http.StatusBadRequest)
+		return
+	}
+	sig := detect.Signal{
+		Machine: rep.Machine,
+		Core:    rep.Core,
+		Kind:    kindFromString(rep.Kind),
+		Time:    simtime.Time(rep.TimeSec),
+		Detail:  rep.Detail,
+	}
+	s.Ingest(sig)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// Ingest adds a signal directly (the in-process path used by simulators;
+// the HTTP path funnels here too).
+func (s *Server) Ingest(sig detect.Signal) {
+	s.mu.Lock()
+	s.tracker.Add(sig)
+	s.total++
+	cb := s.OnSignal
+	s.mu.Unlock()
+	if cb != nil {
+		cb(sig)
+	}
+}
+
+// Suspects returns the current nominations.
+func (s *Server) Suspects() []detect.Suspect {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracker.Suspects()
+}
+
+// Forget drops tracker state for a machine (after drain/repair).
+func (s *Server) Forget(machine string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracker.Forget(machine)
+}
+
+// ForgetCore drops tracker state for one core (after quarantine).
+func (s *Server) ForgetCore(machine string, core int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracker.ForgetCore(machine, core)
+}
+
+// TotalReports returns the number of accepted reports.
+func (s *Server) TotalReports() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	sus := s.Suspects()
+	out := make([]SuspectJSON, len(sus))
+	for i, x := range sus {
+		out[i] = SuspectJSON{
+			Machine: x.Machine, Core: x.Core, Reports: x.Reports,
+			PValue: x.PValue, Score: x.Score(),
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	total := s.total
+	s.mu.Unlock()
+	sus := s.Suspects()
+	machines := map[string]bool{}
+	for _, x := range sus {
+		machines[x.Machine] = true
+	}
+	writeJSON(w, StatsJSON{TotalReports: total, Machines: len(machines), Suspects: len(sus)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client talks to a report server over HTTP.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Report submits one suspect-core report.
+func (c *Client) Report(rep Report) error {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Post(c.BaseURL+"/v1/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("report: server returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Suspects fetches the current suspect list.
+func (c *Client) Suspects() ([]SuspectJSON, error) {
+	resp, err := c.client().Get(c.BaseURL + "/v1/suspects")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("suspects: server returned %s", resp.Status)
+	}
+	var out []SuspectJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches service statistics.
+func (c *Client) Stats() (StatsJSON, error) {
+	var out StatsJSON
+	resp, err := c.client().Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("stats: server returned %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}

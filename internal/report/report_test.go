@@ -1,0 +1,212 @@
+package report
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/detect"
+)
+
+func newTestService(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(64)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, &Client{BaseURL: ts.URL}
+}
+
+func TestReportAndSuspectsRoundTrip(t *testing.T) {
+	_, c := newTestService(t)
+	for i := 0; i < 6; i++ {
+		err := c.Report(Report{Machine: "m1", Core: 9, Kind: "app-error", TimeSec: float64(i)})
+		if err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+	}
+	sus, err := c.Suspects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sus) != 1 || sus[0].Machine != "m1" || sus[0].Core != 9 || sus[0].Reports != 6 {
+		t.Fatalf("suspects = %+v", sus)
+	}
+	if sus[0].Score <= 0 {
+		t.Fatalf("score = %v", sus[0].Score)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, c := newTestService(t)
+	for i := 0; i < 4; i++ {
+		if err := c.Report(Report{Machine: "mA", Core: 1, Kind: "crash"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Report(Report{Machine: "mB", Core: -1, Kind: "mce"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalReports != 5 {
+		t.Fatalf("total = %d", st.TotalReports)
+	}
+	if st.Suspects != 1 || st.Machines != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRejectsBadRequests(t *testing.T) {
+	srv := NewServer(8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/report -> %d", resp.StatusCode)
+	}
+
+	// Malformed JSON.
+	resp, err = http.Post(ts.URL+"/v1/report", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON -> %d", resp.StatusCode)
+	}
+
+	// Missing machine.
+	resp, err = http.Post(ts.URL+"/v1/report", "application/json", strings.NewReader(`{"core":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing machine -> %d", resp.StatusCode)
+	}
+
+	// Wrong method on suspects.
+	resp, err = http.Post(ts.URL+"/v1/suspects", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/suspects -> %d", resp.StatusCode)
+	}
+
+	if srv.TotalReports() != 0 {
+		t.Fatalf("bad requests were counted: %d", srv.TotalReports())
+	}
+}
+
+func TestKindMapping(t *testing.T) {
+	cases := map[string]detect.SignalKind{
+		"crash":       detect.SigCrash,
+		"mce":         detect.SigMCE,
+		"sanitizer":   detect.SigSanitizer,
+		"app-error":   detect.SigAppError,
+		"screen-fail": detect.SigScreenFail,
+		"user-report": detect.SigUserReport,
+		"mystery":     detect.SigAppError, // unknown degrades gracefully
+	}
+	for s, want := range cases {
+		if got := kindFromString(s); got != want {
+			t.Fatalf("kindFromString(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestOnSignalHook(t *testing.T) {
+	srv, c := newTestService(t)
+	var mu sync.Mutex
+	var got []detect.Signal
+	srv.OnSignal = func(s detect.Signal) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	}
+	if err := c.Report(Report{Machine: "m", Core: 2, Kind: "sanitizer", Detail: "asan"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Kind != detect.SigSanitizer || got[0].Detail != "asan" {
+		t.Fatalf("hook saw %+v", got)
+	}
+}
+
+func TestIngestDirect(t *testing.T) {
+	srv := NewServer(16)
+	for i := 0; i < 5; i++ {
+		srv.Ingest(detect.Signal{Machine: "m", Core: 5, Kind: detect.SigScreenFail})
+	}
+	if srv.TotalReports() != 5 {
+		t.Fatalf("total = %d", srv.TotalReports())
+	}
+	sus := srv.Suspects()
+	if len(sus) != 1 || sus[0].Core != 5 {
+		t.Fatalf("suspects = %+v", sus)
+	}
+}
+
+func TestConcurrentIngest(t *testing.T) {
+	srv := NewServer(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				srv.Ingest(detect.Signal{Machine: "m", Core: g % 4, Kind: detect.SigCrash})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if srv.TotalReports() != 800 {
+		t.Fatalf("total = %d", srv.TotalReports())
+	}
+}
+
+func TestClientErrorOnUnreachableServer(t *testing.T) {
+	c := &Client{BaseURL: "http://127.0.0.1:1"} // nothing listens here
+	if err := c.Report(Report{Machine: "m"}); err == nil {
+		t.Fatal("expected connection error")
+	}
+	if _, err := c.Suspects(); err == nil {
+		t.Fatal("expected connection error")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestServerForget(t *testing.T) {
+	srv := NewServer(16)
+	for i := 0; i < 5; i++ {
+		srv.Ingest(detect.Signal{Machine: "m", Core: 5, Kind: detect.SigScreenFail})
+		srv.Ingest(detect.Signal{Machine: "n", Core: 2, Kind: detect.SigScreenFail})
+	}
+	if len(srv.Suspects()) != 2 {
+		t.Fatalf("setup: %d suspects", len(srv.Suspects()))
+	}
+	srv.ForgetCore("m", 5)
+	sus := srv.Suspects()
+	if len(sus) != 1 || sus[0].Machine != "n" {
+		t.Fatalf("after ForgetCore: %+v", sus)
+	}
+	srv.Forget("n")
+	if len(srv.Suspects()) != 0 {
+		t.Fatal("after Forget: suspects remain")
+	}
+}

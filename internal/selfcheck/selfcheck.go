@@ -1,0 +1,165 @@
+// Package selfcheck implements §7's self-checking critical-function
+// libraries: "To allow a broader group of application developers to
+// leverage our shared expertise in addressing CEEs, we have developed a
+// few libraries with self-checking implementations of critical functions,
+// such as encryption and compression, where one CEE could have a large
+// blast radius."
+//
+// Each verified operation runs on a primary core and is checked on an
+// independent checker core. Checking on a *different* core matters: the
+// paper's self-inverting encryption defect makes same-core verification
+// pass while the output is wrong.
+package selfcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/ecc"
+	"repro/internal/engine"
+)
+
+// ErrCheckFailed reports that the checker core disagreed with the primary.
+var ErrCheckFailed = errors.New("selfcheck: verification failed")
+
+// Stats counts verified calls and caught corruption.
+type Stats struct {
+	Calls      int
+	Mismatches int
+	// PrimaryOps and CheckerOps separate the base cost from the
+	// verification overhead (the E7/E8 accounting).
+	PrimaryOps uint64
+	CheckerOps uint64
+}
+
+// Verifier pairs a primary execution core with an independent checker.
+type Verifier struct {
+	Primary *engine.Engine
+	Checker *engine.Engine
+	Stats   Stats
+}
+
+// NewVerifier returns a verifier over the two engines. primary and checker
+// should be bound to different cores; binding them to the same core
+// silently degrades to same-core checking (allowed, but weaker — see
+// the package comment).
+func NewVerifier(primary, checker *engine.Engine) *Verifier {
+	return &Verifier{Primary: primary, Checker: checker}
+}
+
+func (v *Verifier) account(run func() bool) error {
+	v.Stats.Calls++
+	p0 := v.Primary.Core().TotalOps()
+	c0 := v.Checker.Core().TotalOps()
+	ok := run()
+	v.Stats.PrimaryOps += v.Primary.Core().TotalOps() - p0
+	v.Stats.CheckerOps += v.Checker.Core().TotalOps() - c0
+	if !ok {
+		v.Stats.Mismatches++
+		return ErrCheckFailed
+	}
+	return nil
+}
+
+// EncryptBlocks encrypts blocks under key on the primary core and verifies
+// each ciphertext by decrypting on the checker core. Returns the
+// ciphertext or ErrCheckFailed.
+func (v *Verifier) EncryptBlocks(blocks []uint64, key uint64) ([]uint64, error) {
+	out := make([]uint64, len(blocks))
+	err := v.account(func() bool {
+		for i, x := range blocks {
+			ct := v.Primary.CryptoEncrypt64(x, key)
+			if v.Checker.CryptoDecrypt64(ct, key) != x {
+				return false
+			}
+			out[i] = ct
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecryptBlocks decrypts on the primary and verifies by re-encrypting on
+// the checker.
+func (v *Verifier) DecryptBlocks(cts []uint64, key uint64) ([]uint64, error) {
+	out := make([]uint64, len(cts))
+	err := v.account(func() bool {
+		for i, ct := range cts {
+			x := v.Primary.CryptoDecrypt64(ct, key)
+			if v.Checker.CryptoEncrypt64(x, key) != ct {
+				return false
+			}
+			out[i] = x
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compress compresses data on the primary core and verifies by
+// decompressing on the checker core and comparing with the input.
+func (v *Verifier) Compress(data []byte) ([]byte, error) {
+	var out []byte
+	err := v.account(func() bool {
+		out = corpus.LZCompress(v.Primary, data)
+		dec, err := corpus.LZDecompress(v.Checker, out)
+		return err == nil && bytes.Equal(dec, data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Decompress decompresses on the primary and verifies against the
+// checksum the caller stored at compression time (end-to-end style).
+func (v *Verifier) Decompress(comp []byte, wantCRC uint32) ([]byte, error) {
+	var out []byte
+	err := v.account(func() bool {
+		dec, err := corpus.LZDecompress(v.Primary, comp)
+		if err != nil {
+			return false
+		}
+		out = dec
+		return ecc.CRC32C(v.Checker, dec) == wantCRC
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Copy copies src to dst through the primary core and verifies with
+// checksums computed on both cores.
+func (v *Verifier) Copy(dst, src []byte) error {
+	if len(dst) < len(src) {
+		return fmt.Errorf("selfcheck: dst %d < src %d", len(dst), len(src))
+	}
+	return v.account(func() bool {
+		v.Primary.Copy(dst[:len(src)], src)
+		return ecc.CRC32C(v.Checker, dst[:len(src)]) == ecc.CRC32C(v.Checker, src)
+	})
+}
+
+// Hash computes the 64-bit record fingerprint on both cores and returns it
+// only when they agree — the dual-compute discipline §6 mentions for
+// replicated update logic.
+func (v *Verifier) Hash(x uint64) (uint64, error) {
+	var h uint64
+	err := v.account(func() bool {
+		h = ecc.Mix64(v.Primary, x)
+		return ecc.Mix64(v.Checker, x) == h
+	})
+	if err != nil {
+		return 0, err
+	}
+	return h, nil
+}

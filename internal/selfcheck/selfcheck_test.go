@@ -1,0 +1,231 @@
+package selfcheck
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+func healthyVerifier() *Verifier {
+	return NewVerifier(
+		engine.New(fault.NewCore("p", xrand.New(1))),
+		engine.New(fault.NewCore("c", xrand.New(2))),
+	)
+}
+
+// selfInvertingVerifier puts the §2 self-inverting crypto defect on the
+// primary core with a healthy checker.
+func selfInvertingVerifier() *Verifier {
+	d := fault.Defect{ID: "d", Unit: fault.UnitCrypto, Deterministic: true,
+		Kind: fault.CorruptPreXORInput, Mask: 1 << 41}
+	return NewVerifier(
+		engine.New(fault.NewCore("p", xrand.New(3), d)),
+		engine.New(fault.NewCore("c", xrand.New(4))),
+	)
+}
+
+func TestEncryptBlocksHealthy(t *testing.T) {
+	v := healthyVerifier()
+	blocks := []uint64{1, 2, 3, 0xdeadbeef}
+	cts, err := v.EncryptBlocks(blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range cts {
+		if engine.GoldenCryptoDecrypt64(ct, 42) != blocks[i] {
+			t.Fatalf("block %d wrong", i)
+		}
+	}
+	if v.Stats.Calls != 1 || v.Stats.Mismatches != 0 {
+		t.Fatalf("stats = %+v", v.Stats)
+	}
+	if v.Stats.PrimaryOps == 0 || v.Stats.CheckerOps == 0 {
+		t.Fatalf("ops accounting missing: %+v", v.Stats)
+	}
+}
+
+func TestEncryptBlocksCatchesSelfInvertingDefect(t *testing.T) {
+	// Cross-core verification catches what same-core roundtrip cannot.
+	v := selfInvertingVerifier()
+	// The defect is unconditional (no pattern gate), so any block trips it.
+	_, err := v.EncryptBlocks([]uint64{7}, 99)
+	if !errors.Is(err, ErrCheckFailed) {
+		t.Fatalf("err = %v, want ErrCheckFailed", err)
+	}
+	if v.Stats.Mismatches != 1 {
+		t.Fatalf("stats = %+v", v.Stats)
+	}
+}
+
+func TestSameCoreCheckMissesSelfInverting(t *testing.T) {
+	// Degenerate verifier: checker == primary. The self-inverting defect
+	// sails through — documenting why NewVerifier wants distinct cores.
+	d := fault.Defect{ID: "d", Unit: fault.UnitCrypto, Deterministic: true,
+		Kind: fault.CorruptPreXORInput, Mask: 1 << 17}
+	e := engine.New(fault.NewCore("p", xrand.New(5), d))
+	v := NewVerifier(e, e)
+	cts, err := v.EncryptBlocks([]uint64{12345}, 7)
+	if err != nil {
+		t.Fatalf("same-core check unexpectedly failed: %v", err)
+	}
+	// And the ciphertext really is wrong:
+	if engine.GoldenCryptoDecrypt64(cts[0], 7) == 12345 {
+		t.Fatal("ciphertext is correct; defect did not fire")
+	}
+}
+
+func TestDecryptBlocksHealthyAndDefective(t *testing.T) {
+	v := healthyVerifier()
+	blocks := []uint64{10, 20, 30}
+	cts, _ := v.EncryptBlocks(blocks, 5)
+	got, err := v.DecryptBlocks(cts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != blocks[i] {
+			t.Fatalf("block %d: %d != %d", i, got[i], blocks[i])
+		}
+	}
+
+	bad := selfInvertingVerifier()
+	if _, err := bad.DecryptBlocks(cts, 5); !errors.Is(err, ErrCheckFailed) {
+		t.Fatalf("defective decrypt err = %v", err)
+	}
+}
+
+func TestCompressHealthy(t *testing.T) {
+	v := healthyVerifier()
+	data := bytes.Repeat([]byte("mercurial core "), 50)
+	comp, err := v.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(data) {
+		t.Fatalf("no compression: %d -> %d", len(data), len(comp))
+	}
+}
+
+func TestCompressCatchesVecDefect(t *testing.T) {
+	d := fault.Defect{ID: "d", Unit: fault.UnitVec, BaseRate: 0.005,
+		Kind: fault.CorruptBitFlip, BitPos: 12}
+	v := NewVerifier(
+		engine.New(fault.NewCore("p", xrand.New(6), d)),
+		engine.New(fault.NewCore("c", xrand.New(7))),
+	)
+	// Incompressible data maximizes literal copies through the defective
+	// copy path.
+	data := make([]byte, 2048)
+	xrand.New(99).Bytes(data)
+	caught := false
+	for i := 0; i < 50 && !caught; i++ {
+		_, err := v.Compress(data)
+		caught = errors.Is(err, ErrCheckFailed)
+	}
+	if !caught {
+		t.Fatal("verified compression never caught a 0.5% copy defect")
+	}
+	if v.Stats.Mismatches == 0 {
+		t.Fatalf("stats = %+v", v.Stats)
+	}
+}
+
+func TestDecompressVerifiesCRC(t *testing.T) {
+	v := healthyVerifier()
+	data := bytes.Repeat([]byte("blast radius "), 40)
+	comp, err := v.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc := ecc.CRC32CGolden(data)
+	dec, err := v.Decompress(comp, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+	// Wrong CRC must fail.
+	if _, err := v.Decompress(comp, crc^1); !errors.Is(err, ErrCheckFailed) {
+		t.Fatalf("wrong-CRC decompress err = %v", err)
+	}
+	// Corrupt stream must fail (either parse error or CRC mismatch).
+	mut := append([]byte(nil), comp...)
+	mut[len(mut)/2] ^= 0xFF
+	if _, err := v.Decompress(mut, crc); err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+}
+
+func TestCopyVerified(t *testing.T) {
+	v := healthyVerifier()
+	src := []byte("end to end arguments in system design")
+	dst := make([]byte, len(src))
+	if err := v.Copy(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("copy wrong")
+	}
+	if err := v.Copy(make([]byte, 3), src); err == nil {
+		t.Fatal("short dst accepted")
+	}
+}
+
+func TestCopyCatchesBitflipDefect(t *testing.T) {
+	d := fault.Defect{ID: "d", Unit: fault.UnitVec, Deterministic: true,
+		Kind: fault.CorruptBitFlip, BitPos: 3}
+	v := NewVerifier(
+		engine.New(fault.NewCore("p", xrand.New(8), d)),
+		engine.New(fault.NewCore("c", xrand.New(9))),
+	)
+	src := make([]byte, 256)
+	dst := make([]byte, 256)
+	if err := v.Copy(dst, src); !errors.Is(err, ErrCheckFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHashDualCompute(t *testing.T) {
+	v := healthyVerifier()
+	h, err := v.Hash(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != ecc.Mix64Golden(12345) {
+		t.Fatalf("hash = %#x", h)
+	}
+
+	d := fault.Defect{ID: "d", Unit: fault.UnitMul, Deterministic: true,
+		Kind: fault.CorruptBitFlip, BitPos: 31}
+	bad := NewVerifier(
+		engine.New(fault.NewCore("p", xrand.New(10), d)),
+		engine.New(fault.NewCore("c", xrand.New(11))),
+	)
+	if _, err := bad.Hash(12345); !errors.Is(err, ErrCheckFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	v := healthyVerifier()
+	v.Hash(1)
+	v.Hash(2)
+	v.Hash(3)
+	if v.Stats.Calls != 3 {
+		t.Fatalf("calls = %d", v.Stats.Calls)
+	}
+}
+
+func BenchmarkVerifiedEncrypt(b *testing.B) {
+	v := healthyVerifier()
+	blocks := make([]uint64, 64)
+	for i := 0; i < b.N; i++ {
+		v.EncryptBlocks(blocks, 42)
+	}
+}

@@ -1,0 +1,353 @@
+// Package stats provides the statistical substrate shared by the screening,
+// detection, and fleet-simulation packages: summary statistics, quantiles,
+// histograms, and the tail tests used to decide whether suspect-core reports
+// are concentrated on a few cores (a CEE signature, §6 of the paper) or
+// spread evenly (a software-bug signature).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds running moments of a stream of observations.
+type Summary struct {
+	n              int
+	mean, m2       float64
+	min, max       float64
+	sum            float64
+	hasObservation bool
+}
+
+// Add records one observation (Welford's online algorithm).
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasObservation || x < s.min {
+		s.min = x
+	}
+	if !s.hasObservation || x > s.max {
+		s.max = x
+	}
+	s.hasObservation = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Sum returns the sum of observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// String formats the summary for experiment output.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles returns several quantiles of xs in one sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// Histogram is a fixed-bin-width histogram over [Lo, Hi). Observations
+// outside the range land in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard float rounding at the upper edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations including under/overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// LogBucket returns the decade bucket of x: floor(log10 x), with values
+// <= 0 mapped to math.MinInt. Used for the "orders of magnitude" spread in
+// corruption rates (experiment E3).
+func LogBucket(x float64) int {
+	if x <= 0 {
+		return math.MinInt
+	}
+	return int(math.Floor(math.Log10(x)))
+}
+
+// DecadeSpread returns the number of decades spanned by the positive values
+// in xs (max bucket - min bucket + 1), and 0 if fewer than one positive.
+func DecadeSpread(xs []float64) int {
+	minB, maxB := math.MaxInt, math.MinInt
+	any := false
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		b := LogBucket(x)
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+		any = true
+	}
+	if !any {
+		return 0
+	}
+	return maxB - minB + 1
+}
+
+// lnGamma computes the natural log of the Gamma function (Lanczos
+// approximation, g=7). Accurate to ~1e-13 over the positive reals, ample
+// for the tail tests below.
+func lnGamma(x float64) float64 {
+	if x < 0.5 {
+		// Reflection formula.
+		return math.Log(math.Pi/math.Sin(math.Pi*x)) - lnGamma(1-x)
+	}
+	g := []float64{
+		0.99999999999980993,
+		676.5203681218851,
+		-1259.1392167224028,
+		771.32342877765313,
+		-176.61502916214059,
+		12.507343278686905,
+		-0.13857109526572012,
+		9.9843695780195716e-6,
+		1.5056327351493116e-7,
+	}
+	x -= 1
+	a := g[0]
+	t := x + 7.5
+	for i := 1; i < len(g); i++ {
+		a += g[i] / (x + float64(i))
+	}
+	return 0.5*math.Log(2*math.Pi) + (x+0.5)*math.Log(t) - t + math.Log(a)
+}
+
+// lnChoose returns ln C(n, k).
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return lnGamma(float64(n)+1) - lnGamma(float64(k)+1) - lnGamma(float64(n-k)+1)
+}
+
+// BinomialTailAtLeast returns P[X >= k] for X ~ Binomial(n, p), computed by
+// direct summation in log space. This is the concentration test used by the
+// detection pipeline: with r reports across c cores, the probability that a
+// single core would receive at least k reports under the uniform-spread
+// hypothesis is BinomialTailAtLeast(r, 1/c, k).
+func BinomialTailAtLeast(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lp := math.Log(p)
+	lq := math.Log(1 - p)
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		sum += math.Exp(lnChoose(n, i) + float64(i)*lp + float64(n-i)*lq)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// PoissonTailAtLeast returns P[X >= k] for X ~ Poisson(lambda).
+func PoissonTailAtLeast(lambda float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if lambda <= 0 {
+		return 0
+	}
+	// P[X >= k] = 1 - sum_{i<k} e^-l l^i / i!
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += math.Exp(-lambda + float64(i)*math.Log(lambda) - lnGamma(float64(i)+1))
+	}
+	tail := 1 - sum
+	if tail < 0 {
+		tail = 0
+	}
+	return tail
+}
+
+// ConcentrationPValue performs the §6 "evenly spread vs concentrated" test.
+// counts[i] is the number of suspect reports attributed to core i. Under the
+// null hypothesis (software bug: reports uniform over cores) the maximum
+// per-core count has a Bonferroni-bounded tail probability. A small return
+// value means the reports are implausibly concentrated, i.e. a CEE suspect.
+func ConcentrationPValue(counts []int) float64 {
+	c := len(counts)
+	if c == 0 {
+		return 1
+	}
+	total, maxCount := 0, 0
+	for _, v := range counts {
+		total += v
+		if v > maxCount {
+			maxCount = v
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	p := BinomialTailAtLeast(total, 1/float64(c), maxCount)
+	bonferroni := p * float64(c)
+	if bonferroni > 1 {
+		return 1
+	}
+	return bonferroni
+}
+
+// Gini returns the Gini coefficient of the non-negative values xs — a
+// secondary concentration measure reported by the detection pipeline
+// (0 = perfectly even, → 1 = all mass on one element).
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var cum, sum float64
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+		sum += x
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*sum) - (float64(n)+1)/float64(n)
+}
+
+// WilsonInterval returns the Wilson score 95% confidence interval for a
+// proportion with k successes out of n trials. Used when reporting detected
+// CEE incidence (§4: "quantifying their values in practice is difficult").
+func WilsonInterval(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959964 // 97.5th percentile of the standard normal
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,379 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEqual(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("sum = %v", s.Sum())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	s.Add(-3)
+	if s.Mean() != -3 || s.Variance() != 0 || s.Min() != -3 || s.Max() != -3 {
+		t.Fatal("single-observation summary wrong")
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Fatalf("summary over negatives: %v", s.String())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Interpolation between order statistics.
+	if q := Quantile([]float64{0, 10}, 0.5); q != 5 {
+		t.Fatalf("interpolated median = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	qs := Quantiles(xs, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+	for _, v := range Quantiles(nil, 0.5) {
+		if !math.IsNaN(v) {
+			t.Fatal("empty Quantiles should be NaN")
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(11)
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count %d", i, c)
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Fatalf("under=%d over=%d", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 13 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if !almostEqual(h.BinCenter(0), 0.5, 1e-12) {
+		t.Fatalf("bin center = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	// A value just below Hi must land in the last bin, not panic.
+	h.Add(math.Nextafter(1, 0))
+	if h.Counts[2] != 1 {
+		t.Fatalf("upper-edge value landed in %v", h.Counts)
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 10)
+}
+
+func TestLogBucket(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{1, 0}, {9.99, 0}, {10, 1}, {0.1, -1}, {0.05, -2}, {1e6, 6},
+	}
+	for _, c := range cases {
+		if got := LogBucket(c.x); got != c.want {
+			t.Fatalf("LogBucket(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if LogBucket(0) != math.MinInt || LogBucket(-1) != math.MinInt {
+		t.Fatal("non-positive LogBucket should be MinInt")
+	}
+}
+
+func TestDecadeSpread(t *testing.T) {
+	if d := DecadeSpread([]float64{1e-6, 1e-2}); d != 5 {
+		t.Fatalf("spread = %d, want 5", d)
+	}
+	if d := DecadeSpread([]float64{3, 5}); d != 1 {
+		t.Fatalf("same-decade spread = %d", d)
+	}
+	if d := DecadeSpread(nil); d != 0 {
+		t.Fatalf("empty spread = %d", d)
+	}
+	if d := DecadeSpread([]float64{0, -1}); d != 0 {
+		t.Fatalf("non-positive spread = %d", d)
+	}
+}
+
+func TestLnGammaKnownValues(t *testing.T) {
+	// Gamma(n) = (n-1)!
+	cases := []struct {
+		x, want float64
+	}{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{5, math.Log(24)},
+		{11, math.Log(3628800)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+	}
+	for _, c := range cases {
+		if got := lnGamma(c.x); !almostEqual(got, c.want, 1e-10) {
+			t.Fatalf("lnGamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// Fair coin, 10 flips: P[X >= 5] ≈ 0.623046875.
+	if p := BinomialTailAtLeast(10, 0.5, 5); !almostEqual(p, 0.623046875, 1e-9) {
+		t.Fatalf("tail = %v", p)
+	}
+	if p := BinomialTailAtLeast(10, 0.5, 0); p != 1 {
+		t.Fatalf("k=0 tail = %v", p)
+	}
+	if p := BinomialTailAtLeast(10, 0.5, 11); p != 0 {
+		t.Fatalf("k>n tail = %v", p)
+	}
+	if p := BinomialTailAtLeast(10, 0, 1); p != 0 {
+		t.Fatalf("p=0 tail = %v", p)
+	}
+	if p := BinomialTailAtLeast(10, 1, 10); p != 1 {
+		t.Fatalf("p=1 tail = %v", p)
+	}
+	// P[X >= 10] with p=0.5 is 2^-10.
+	if p := BinomialTailAtLeast(10, 0.5, 10); !almostEqual(p, math.Pow(0.5, 10), 1e-12) {
+		t.Fatalf("all-successes tail = %v", p)
+	}
+}
+
+func TestPoissonTail(t *testing.T) {
+	// P[X >= 1] = 1 - e^-lambda.
+	if p := PoissonTailAtLeast(2, 1); !almostEqual(p, 1-math.Exp(-2), 1e-10) {
+		t.Fatalf("tail = %v", p)
+	}
+	if p := PoissonTailAtLeast(2, 0); p != 1 {
+		t.Fatalf("k=0 = %v", p)
+	}
+	if p := PoissonTailAtLeast(0, 3); p != 0 {
+		t.Fatalf("lambda=0 = %v", p)
+	}
+}
+
+func TestConcentrationDetectsHotCore(t *testing.T) {
+	// 20 reports all on one of 64 cores: wildly improbable under uniform.
+	counts := make([]int, 64)
+	counts[17] = 20
+	if p := ConcentrationPValue(counts); p > 1e-10 {
+		t.Fatalf("concentrated p-value = %v, want tiny", p)
+	}
+}
+
+func TestConcentrationAcceptsUniform(t *testing.T) {
+	// 64 reports spread one per core: entirely consistent with uniform.
+	counts := make([]int, 64)
+	for i := range counts {
+		counts[i] = 1
+	}
+	if p := ConcentrationPValue(counts); p < 0.5 {
+		t.Fatalf("uniform p-value = %v, want large", p)
+	}
+}
+
+func TestConcentrationEdges(t *testing.T) {
+	if p := ConcentrationPValue(nil); p != 1 {
+		t.Fatalf("empty = %v", p)
+	}
+	if p := ConcentrationPValue(make([]int, 8)); p != 1 {
+		t.Fatalf("zero reports = %v", p)
+	}
+}
+
+func TestConcentrationPowerGrowsWithReports(t *testing.T) {
+	// More recidivist reports on the same core must never look less
+	// suspicious (§6: recidivism increases confidence).
+	prev := 1.0
+	for k := 1; k <= 10; k++ {
+		counts := make([]int, 32)
+		counts[3] = k
+		p := ConcentrationPValue(counts)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value rose from %v to %v at k=%d", prev, p, k)
+		}
+		prev = p
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); !almostEqual(g, 0, 1e-12) {
+		t.Fatalf("even Gini = %v", g)
+	}
+	g := Gini([]float64{0, 0, 0, 100})
+	if g < 0.7 {
+		t.Fatalf("concentrated Gini = %v, want high", g)
+	}
+	if g2 := Gini(nil); g2 != 0 {
+		t.Fatalf("empty Gini = %v", g2)
+	}
+	if g3 := Gini([]float64{0, 0}); g3 != 0 {
+		t.Fatalf("all-zero Gini = %v", g3)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(5, 10)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v,%v] should contain 0.5", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 100)
+	if lo != 0 || hi > 0.05 {
+		t.Fatalf("zero-successes interval [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty interval [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(100, 100)
+	if hi != 1 || lo < 0.95 {
+		t.Fatalf("all-successes interval [%v,%v]", lo, hi)
+	}
+}
+
+func TestQuickBinomialTailMonotoneInK(t *testing.T) {
+	f := func(n uint8, pRaw uint16) bool {
+		nn := int(n%50) + 1
+		p := float64(pRaw) / 65536
+		prev := 1.0
+		for k := 0; k <= nn+1; k++ {
+			cur := BinomialTailAtLeast(nn, p, k)
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQuantileWithinRange(t *testing.T) {
+	r := xrand.New(99)
+	f := func(n uint8, qRaw uint16) bool {
+		m := int(n%100) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		q := float64(qRaw) / 65536
+		v := Quantile(xs, q)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGiniRange(t *testing.T) {
+	r := xrand.New(7)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		g := Gini(xs)
+		return g >= -1e-9 && g < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConcentrationPValue(b *testing.B) {
+	counts := make([]int, 128)
+	counts[5] = 12
+	counts[9] = 1
+	counts[77] = 2
+	for i := 0; i < b.N; i++ {
+		ConcentrationPValue(counts)
+	}
+}

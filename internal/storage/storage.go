@@ -1,0 +1,224 @@
+// Package storage implements a miniature Colossus-style blob store used to
+// reproduce two of the paper's production patterns:
+//
+//   - §6: "the Colossus file system protects the write path with end-to-end
+//     checksums" — writes carry a client-side CRC that the server verifies
+//     after the (possibly corrupted) copy, and a background scrubber
+//     detects corruption at rest.
+//   - §2: "corruption affecting garbage collection, in a storage system,
+//     causing live data to be lost" — the garbage collector decides
+//     liveness by recomputing key fingerprints on a server core; a
+//     mercurial core makes live blobs look like orphans.
+//
+// All data movement and fingerprint arithmetic execute through an
+// engine.Engine, so a defective core corrupts this store exactly the way
+// the paper describes.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ecc"
+	"repro/internal/engine"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound         = errors.New("storage: blob not found")
+	ErrWriteCorrupted   = errors.New("storage: write-path checksum mismatch")
+	ErrChecksumMismatch = errors.New("storage: read-path checksum mismatch")
+)
+
+// chunk is one stored blob.
+type chunk struct {
+	data []byte
+	// crc is the client-provided end-to-end checksum (write-path), kept
+	// even when verification is disabled so scrubbing can use it.
+	crc uint32
+	// fingerprint is the namespace entry the GC checks liveness against.
+	fingerprint uint64
+}
+
+// Stats tracks store health, including ground truth the experiments use.
+type Stats struct {
+	Puts, Gets            int
+	WriteRejects          int // writes caught by the write-path check
+	ReadRejects           int // reads caught by the read-path check
+	ScrubHits             int // at-rest corruption found by the scrubber
+	GCDeleted             int // blobs collected as orphans
+	GCLostLive            int // ground truth: live blobs wrongly collected
+	GCDoubleCheckRecovers int // live blobs saved by the double-check
+}
+
+// Store is the blob store. It is not safe for concurrent use; the fleet
+// simulator serializes access per machine.
+type Store struct {
+	// EndToEnd enables write- and read-path checksum verification. With
+	// it off, corrupt writes land silently — the contrast measured in
+	// experiment E10.
+	EndToEnd bool
+	blobs    map[string]*chunk
+	Stats    Stats
+}
+
+// NewStore returns an empty store.
+func NewStore(endToEnd bool) *Store {
+	return &Store{EndToEnd: endToEnd, blobs: map[string]*chunk{}}
+}
+
+// Len returns the number of stored blobs.
+func (s *Store) Len() int { return len(s.blobs) }
+
+// Keys returns all keys, sorted.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.blobs))
+	for k := range s.blobs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keyFingerprint computes the namespace fingerprint for a key through the
+// given engine. The GC recomputes this on its own core; a mismatch is how
+// the §2 GC incident happens.
+func keyFingerprint(e *engine.Engine, key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = e.Xor64(h, uint64(key[i]))
+		h = e.Mul64(h, 1099511628211)
+	}
+	return ecc.Mix64(e, h)
+}
+
+// Put stores data under key. The server-side copy goes through e (the
+// serving core); clientCRC is the checksum the client computed over its own
+// buffer. With EndToEnd enabled, the server verifies the stored bytes
+// against clientCRC and rejects corrupted writes with ErrWriteCorrupted
+// (the client then retries, typically landing on another server).
+func (s *Store) Put(e *engine.Engine, key string, data []byte, clientCRC uint32) error {
+	s.Stats.Puts++
+	stored := make([]byte, len(data))
+	e.Copy(stored, data)
+	if s.EndToEnd {
+		if ecc.CRC32C(e, stored) != clientCRC {
+			s.Stats.WriteRejects++
+			return ErrWriteCorrupted
+		}
+	}
+	s.blobs[key] = &chunk{
+		data:        stored,
+		crc:         clientCRC,
+		fingerprint: keyFingerprint(e, key),
+	}
+	return nil
+}
+
+// PutFromClient is the common client path: it computes the CRC natively
+// (on the client's own, presumed-healthy machine) and calls Put.
+func (s *Store) PutFromClient(e *engine.Engine, key string, data []byte) error {
+	return s.Put(e, key, data, ecc.CRC32CGolden(data))
+}
+
+// Get reads the blob through e. With EndToEnd enabled the read path
+// verifies the checksum and reports corruption instead of returning bad
+// data.
+func (s *Store) Get(e *engine.Engine, key string) ([]byte, error) {
+	s.Stats.Gets++
+	c, ok := s.blobs[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(c.data))
+	e.Copy(out, c.data)
+	if s.EndToEnd {
+		if ecc.CRC32C(e, out) != c.crc {
+			s.Stats.ReadRejects++
+			return nil, fmt.Errorf("%w: key %q", ErrChecksumMismatch, key)
+		}
+	}
+	return out, nil
+}
+
+// Delete removes a blob (namespace unlink; the chunk lingers for GC in
+// real systems — here removal is immediate and GC handles only orphan
+// *detection* bugs).
+func (s *Store) Delete(key string) {
+	delete(s.blobs, key)
+}
+
+// Scrub verifies every blob at rest through e and returns the keys whose
+// stored bytes no longer match their checksum — §3's "scrub storage to
+// detect corruption-at-rest".
+func (s *Store) Scrub(e *engine.Engine) []string {
+	var bad []string
+	for _, k := range s.Keys() {
+		c := s.blobs[k]
+		if ecc.CRC32C(e, c.data) != c.crc {
+			bad = append(bad, k)
+			s.Stats.ScrubHits++
+		}
+	}
+	return bad
+}
+
+// CorruptAtRest flips a bit in a stored blob — a test/experiment hook
+// standing in for storage-medium corruption (which the paper contrasts
+// with CEEs).
+func (s *Store) CorruptAtRest(key string, bit uint) bool {
+	c, ok := s.blobs[key]
+	if !ok || len(c.data) == 0 {
+		return false
+	}
+	c.data[int(bit/8)%len(c.data)] ^= 1 << (bit % 8)
+	return true
+}
+
+// GCOptions configures a garbage-collection pass.
+type GCOptions struct {
+	// Live is the namespace: keys that must be preserved.
+	Live map[string]bool
+	// DoubleCheck recomputes a mismatching fingerprint a second time
+	// before collecting — the cheap application-level mitigation that
+	// defeats intermittent defects.
+	DoubleCheck bool
+}
+
+// GC collects blobs whose key is absent from the namespace. Liveness of
+// present keys is confirmed by recomputing the key fingerprint on the GC's
+// core (e): if the recomputation mismatches the stored fingerprint, the GC
+// concludes the chunk is an orphan of a renamed/deleted file and collects
+// it. On a mercurial core this wrongly collects live data — the §2
+// incident. Returns the keys deleted.
+func (s *Store) GC(e *engine.Engine, opts GCOptions) []string {
+	var deleted []string
+	for _, k := range s.Keys() {
+		c := s.blobs[k]
+		if !opts.Live[k] {
+			// True orphan.
+			delete(s.blobs, k)
+			deleted = append(deleted, k)
+			s.Stats.GCDeleted++
+			continue
+		}
+		fp := keyFingerprint(e, k)
+		if fp == c.fingerprint {
+			continue
+		}
+		if opts.DoubleCheck {
+			if keyFingerprint(e, k) == c.fingerprint {
+				// Second opinion saved the blob: the first
+				// computation was the corrupted one.
+				s.Stats.GCDoubleCheckRecovers++
+				continue
+			}
+		}
+		delete(s.blobs, k)
+		deleted = append(deleted, k)
+		s.Stats.GCDeleted++
+		s.Stats.GCLostLive++
+	}
+	return deleted
+}

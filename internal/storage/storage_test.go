@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+func healthyEngine(seed uint64) *engine.Engine {
+	return engine.New(fault.NewCore("h", xrand.New(seed)))
+}
+
+func copyDefectEngine(seed uint64, rate float64) *engine.Engine {
+	d := fault.Defect{ID: "d", Unit: fault.UnitVec, BaseRate: rate,
+		Kind: fault.CorruptBitFlip, BitPos: 5}
+	return engine.New(fault.NewCore("m", xrand.New(seed), d))
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewStore(true)
+	e := healthyEngine(1)
+	data := []byte("hello colossus")
+	if err := s.PutFromClient(e, "k1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(e, "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := NewStore(true)
+	if _, err := s.Get(healthyEngine(2), "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWritePathChecksumRejectsCorruptWrite(t *testing.T) {
+	s := NewStore(true)
+	e := copyDefectEngine(3, 1) // every copy op corrupts
+	err := s.PutFromClient(e, "k", make([]byte, 256))
+	if !errors.Is(err, ErrWriteCorrupted) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Stats.WriteRejects != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+	if s.Len() != 0 {
+		t.Fatal("corrupt write was stored")
+	}
+}
+
+func TestWithoutEndToEndCorruptWriteLandsSilently(t *testing.T) {
+	s := NewStore(false)
+	bad := copyDefectEngine(4, 1)
+	data := make([]byte, 256)
+	if err := s.PutFromClient(bad, "k", data); err != nil {
+		t.Fatal(err)
+	}
+	// Read through a healthy core with checks off: silent wrong bytes.
+	got, err := s.Get(healthyEngine(5), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, data) {
+		t.Fatal("expected silent corruption")
+	}
+}
+
+func TestReadPathChecksumCatchesCorruptRead(t *testing.T) {
+	s := NewStore(true)
+	if err := s.PutFromClient(healthyEngine(6), "k", make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	bad := copyDefectEngine(7, 1)
+	if _, err := s.Get(bad, "k"); !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Stats.ReadRejects != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func TestRetryOnAnotherServerSucceeds(t *testing.T) {
+	// The production pattern: a write rejected by the end-to-end check is
+	// retried and lands via a healthy core.
+	s := NewStore(true)
+	bad := copyDefectEngine(8, 1)
+	data := []byte("retry me please, this needs >8 bytes")
+	if err := s.PutFromClient(bad, "k", data); err == nil {
+		t.Fatal("corrupt write accepted")
+	}
+	if err := s.PutFromClient(healthyEngine(9), "k", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(healthyEngine(10), "k")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("retry readback: %v", err)
+	}
+}
+
+func TestScrubFindsAtRestCorruption(t *testing.T) {
+	s := NewStore(true)
+	e := healthyEngine(11)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.PutFromClient(e, k, []byte("data for "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bad := s.Scrub(e); len(bad) != 0 {
+		t.Fatalf("clean store scrub found %v", bad)
+	}
+	if !s.CorruptAtRest("b", 13) {
+		t.Fatal("corruption hook failed")
+	}
+	bad := s.Scrub(e)
+	if len(bad) != 1 || bad[0] != "b" {
+		t.Fatalf("scrub found %v", bad)
+	}
+	if s.Stats.ScrubHits != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func TestCorruptAtRestMissingKey(t *testing.T) {
+	s := NewStore(true)
+	if s.CorruptAtRest("missing", 0) {
+		t.Fatal("corrupted a missing key")
+	}
+}
+
+func TestGCCollectsOrphansOnly(t *testing.T) {
+	s := NewStore(true)
+	e := healthyEngine(12)
+	for _, k := range []string{"live1", "live2", "orphan1", "orphan2"} {
+		if err := s.PutFromClient(e, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted := s.GC(e, GCOptions{Live: map[string]bool{"live1": true, "live2": true}})
+	if len(deleted) != 2 {
+		t.Fatalf("deleted %v", deleted)
+	}
+	if s.Stats.GCLostLive != 0 {
+		t.Fatalf("healthy GC lost live data: %+v", s.Stats)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestGCOnMercurialCoreLosesLiveData(t *testing.T) {
+	// The §2 incident: a defective core running GC wrongly collects live
+	// blobs. The fingerprint math uses MUL; corrupt it deterministically.
+	s := NewStore(true)
+	e := healthyEngine(13)
+	live := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		k := string(rune('a' + i))
+		live[k] = true
+		if err := s.PutFromClient(e, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := engine.New(fault.NewCore("gc", xrand.New(14), fault.Defect{
+		ID: "d", Unit: fault.UnitMul, Deterministic: true,
+		Kind: fault.CorruptBitFlip, BitPos: 7}))
+	deleted := s.GC(bad, GCOptions{Live: live})
+	if len(deleted) == 0 || s.Stats.GCLostLive == 0 {
+		t.Fatal("mercurial GC did not lose live data")
+	}
+}
+
+func TestGCDoubleCheckDefeatsIntermittentDefect(t *testing.T) {
+	// With an intermittent (low-rate) defect, recomputing the fingerprint
+	// on mismatch saves most live blobs.
+	mkStore := func() (*Store, map[string]bool) {
+		s := NewStore(true)
+		e := healthyEngine(15)
+		live := map[string]bool{}
+		for i := 0; i < 200; i++ {
+			k := string(rune('a'+i%26)) + string(rune('0'+i/26))
+			live[k] = true
+			if err := s.PutFromClient(e, k, []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s, live
+	}
+	mkBad := func(seed uint64) *engine.Engine {
+		return engine.New(fault.NewCore("gc", xrand.New(seed), fault.Defect{
+			ID: "d", Unit: fault.UnitMul, BaseRate: 0.002,
+			Kind: fault.CorruptBitFlip, BitPos: 9}))
+	}
+
+	s1, live1 := mkStore()
+	s1.GC(mkBad(16), GCOptions{Live: live1})
+	lostWithout := s1.Stats.GCLostLive
+
+	s2, live2 := mkStore()
+	s2.GC(mkBad(16), GCOptions{Live: live2, DoubleCheck: true})
+	lostWith := s2.Stats.GCLostLive
+
+	if lostWithout == 0 {
+		t.Skip("defect never fired at this seed; raise rate")
+	}
+	if lostWith >= lostWithout {
+		t.Fatalf("double-check did not help: %d -> %d", lostWithout, lostWith)
+	}
+	if s2.Stats.GCDoubleCheckRecovers == 0 {
+		t.Fatalf("no recoveries recorded: %+v", s2.Stats)
+	}
+}
+
+func TestDeleteThenGet(t *testing.T) {
+	s := NewStore(true)
+	e := healthyEngine(17)
+	s.PutFromClient(e, "k", []byte("x"))
+	s.Delete("k")
+	if _, err := s.Get(e, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore(true)
+	e := healthyEngine(18)
+	for _, k := range []string{"zz", "aa", "mm"} {
+		s.PutFromClient(e, k, []byte(k))
+	}
+	keys := s.Keys()
+	if keys[0] != "aa" || keys[1] != "mm" || keys[2] != "zz" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := NewStore(true)
+	e := healthyEngine(19)
+	s.PutFromClient(e, "a", []byte("1"))
+	s.PutFromClient(e, "b", []byte("2"))
+	s.Get(e, "a")
+	if s.Stats.Puts != 2 || s.Stats.Gets != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func BenchmarkPutGetEndToEnd(b *testing.B) {
+	s := NewStore(true)
+	e := healthyEngine(1)
+	data := make([]byte, 4096)
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		s.PutFromClient(e, "k", data)
+		s.Get(e, "k")
+	}
+}
