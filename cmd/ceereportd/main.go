@@ -9,8 +9,16 @@
 // API:
 //
 //	POST /v1/report   {"machine":"m1","core":7,"kind":"app-error","time_sec":0}
-//	GET  /v1/suspects
-//	GET  /v1/stats
+//	                  → 202 on accept, 400 on a malformed or machine-less
+//	                  report, 405 on a non-POST method
+//	GET  /v1/suspects → 200, JSON array of nominated suspects
+//	GET  /v1/stats    → 200, {"total_reports":N,"machines":N,"suspects":N}
+//	GET  /v1/healthz  → 200, {"status":"ok"} — liveness probe
+//
+// Error contract: every non-2xx response carries Content-Type
+// application/json and the uniform envelope {"error":"<human-readable
+// cause>"}, so clients and load balancers never have to parse free-form
+// text bodies.
 package main
 
 import (

@@ -6,8 +6,11 @@
 //	fleetsim -experiment F1          # one experiment (F1, E1..E14)
 //	fleetsim -experiment all         # everything, in order
 //	fleetsim -experiment all -scale full
+//	fleetsim -parallelism 1          # force the serial reference path
 //
-// Output is the text tables recorded in EXPERIMENTS.md.
+// Output is the text tables recorded in EXPERIMENTS.md. Every experiment
+// is bit-identical at any -parallelism; the flag only trades wall-clock
+// time for cores.
 package main
 
 import (
@@ -17,12 +20,16 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 )
 
 func main() {
 	exp := flag.String("experiment", "all", "experiment id (F1, E1..E14) or 'all'")
 	scale := flag.String("scale", "small", "small | full")
+	par := flag.Int("parallelism", 0, "fleet simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	fleet.SetDefaultParallelism(*par)
 
 	var s experiments.Scale
 	switch *scale {

@@ -101,7 +101,8 @@ func main() {
 	// a novel one needing a new automatable test (§6/§9)?
 	fmt.Println("[3b] forensic classification")
 	characterization := screen.Screen(m.Core(top.Core),
-		screen.Config{Passes: 2, Points: screen.SweepPoints(2, 1, 2)}, xrand.New(*seed+9))
+		screen.NewConfig(screen.WithPasses(2), screen.WithSweep(2, 1, 2),
+			screen.WithStopOnDetect(false)), xrand.New(*seed+9))
 	db := forensics.NewModeDB()
 	db.Observe(forensics.Mode{Units: []fault.Unit{fault.UnitALU}}) // previously seen
 	db.Observe(forensics.Mode{Units: []fault.Unit{fault.UnitVec}}) // previously seen

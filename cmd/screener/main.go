@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	defect := flag.String("defect", "", "inject defect: <coreIdx>:<class> (repeatable via comma)")
 	deep := flag.Bool("deep", false, "run the deep (f,V,T-sweep) screen instead of quick")
+	par := flag.Int("parallelism", 0, "cores screened concurrently (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list defect classes and corpus workloads, then exit")
 	flag.Parse()
 
@@ -79,7 +80,13 @@ func main() {
 		kind = "deep"
 	}
 	fmt.Printf("screening %d cores (%s)\n", m.Cores(), kind)
-	reports := m.ScreenAll(cfg, *seed+100)
+	pool := make([]*fault.Core, m.Cores())
+	for i := range pool {
+		pool[i] = m.Core(i)
+	}
+	// Verdicts are bit-identical at any -parallelism; the flag only sets
+	// how many cores are screened concurrently.
+	reports := screen.ScreenAll(pool, cfg, *seed+100, *par)
 	flagged := 0
 	for i, rep := range reports {
 		status := "pass"

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/fleet"
 	"repro/internal/metrics"
@@ -22,12 +23,26 @@ func main() {
 	cfg.DefectsPerMachine = 0.02 // denser than the paper's fleet so a demo quarter has action
 	cfg.Seed = 2026
 
-	f := fleet.New(cfg)
-	fmt.Printf("fleet: %d machines x %d cores; %d mercurial cores hidden in the population\n\n",
-		cfg.Machines, cfg.CoresPerMachine, len(f.Defects()))
+	// The Runner API: each simulated day is sharded across the host's
+	// cores (bit-identical to a serial run), and an observer streams
+	// progress as the quarter unfolds.
+	r, err := fleet.NewRunner(cfg,
+		fleet.WithParallelism(0), // 0 = GOMAXPROCS
+		fleet.WithObserver(func(d fleet.DayStats) {
+			if d.NewQuarantines > 0 {
+				fmt.Printf("  day %3d: %d core(s) quarantined\n", d.Day, d.NewQuarantines)
+			}
+		}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleettriage:", err)
+		os.Exit(1)
+	}
+	f := r.Fleet()
+	fmt.Printf("fleet: %d machines x %d cores; %d mercurial cores hidden in the population "+
+		"(%d-way sharded)\n\n", cfg.Machines, cfg.CoresPerMachine, len(f.Defects()), r.Parallelism())
 
 	const days = 90
-	series := f.Run(days)
+	series := r.Run(days)
 
 	var corruptions, silent int64
 	var auto, user, screenHits, quarantines int

@@ -146,12 +146,10 @@ func (m *Machine) ScreenCore(idx int, cfg screen.Config, seed uint64) screen.Rep
 
 // ScreenAll screens every core and returns the reports in core order —
 // the machine-acceptance flow (burn-in, §6 pre-deployment screening).
+// Cores are screened in parallel across host cores; the reports are
+// bit-identical to a serial run (see screen.ScreenAll).
 func (m *Machine) ScreenAll(cfg screen.Config, seed uint64) []screen.Report {
-	out := make([]screen.Report, len(m.cores))
-	for i := range m.cores {
-		out[i] = screen.Screen(m.cores[i], cfg, xrand.New(seed+uint64(i)))
-	}
-	return out
+	return screen.ScreenAll(m.cores, cfg, seed, 0)
 }
 
 // Executor returns a mitigated-execution executor over all cores — the

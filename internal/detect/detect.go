@@ -4,6 +4,16 @@
 // on a few cores (a CEE signature) or spread evenly (a software-bug
 // signature); tracking recidivism; and extracting "confessions" from
 // suspects via deep screening.
+//
+// Concurrency model: Tracker is a deliberately lock-free single-writer
+// structure. Concurrent producers (parallel fleet shards, HTTP handlers)
+// must not call Add directly; they buffer []Signal privately and hand the
+// buffers to one merging goroutine — report.Server wraps exactly that
+// single-writer merge behind a mutex, and the fleet simulator merges its
+// per-shard buffers in deterministic shard order. Suspect nomination is
+// insensitive to signal order within a day (counts, first/last-time
+// bounds, and the concentration statistic are all multiset functions), so
+// an ordered merge of per-shard buffers is bit-identical to a serial run.
 package detect
 
 import (
@@ -145,6 +155,14 @@ func (t *Tracker) Add(s Signal) {
 	}
 	if s.Time > cs.last {
 		cs.last = s.Time
+	}
+}
+
+// AddBatch ingests a buffer of signals in order — the single-writer merge
+// step for concurrent producers that accumulated signals privately.
+func (t *Tracker) AddBatch(sigs []Signal) {
+	for _, s := range sigs {
+		t.Add(s)
 	}
 }
 

@@ -42,8 +42,8 @@ func fleetConfig(s Scale) fleet.Config {
 		cfg.Machines = 400
 		cfg.CoresPerMachine = 16
 		cfg.DefectsPerMachine = 0.05
-		cfg.ConfessionConfig = screen.Config{Passes: 30,
-			Points: screen.SweepPoints(2, 1, 2), StopOnDetect: true, MaxOps: 8_000_000}
+		cfg.ConfessionConfig = screen.NewConfig(screen.WithPasses(30),
+			screen.WithSweep(2, 1, 2), screen.WithMaxOps(8_000_000))
 	}
 	return cfg
 }

@@ -141,12 +141,11 @@ func DefaultConfig() Config {
 			Mode:              quarantine.CoreRemoval,
 			RequireConfession: true,
 		},
-		ConfessionConfig: screen.Config{
-			Passes:       60,
-			Points:       screen.SweepPoints(2, 1, 2),
-			StopOnDetect: true,
-			MaxOps:       15_000_000,
-		},
+		ConfessionConfig: screen.NewConfig(
+			screen.WithPasses(60),
+			screen.WithSweep(2, 1, 2),
+			screen.WithMaxOps(15_000_000),
+		),
 	}
 }
 
@@ -277,10 +276,15 @@ type TriageStats struct {
 }
 
 // Fleet is one simulated fleet.
+//
+// A Fleet's mutable state is owned by one goroutine: Step and Run must not
+// be called concurrently. Internally each day is sharded across a worker
+// pool (see tick.go); the telemetry is bit-identical at any worker count.
 type Fleet struct {
-	cfg      Config
-	rng      *xrand.RNG
-	machines []*Machine
+	cfg         Config
+	rng         *xrand.RNG
+	parallelism int
+	machines    []*Machine
 	defects  []*DefectSite
 	server   *report.Server
 	cluster  *sched.Cluster
@@ -316,6 +320,7 @@ func New(cfg Config) *Fleet {
 	f := &Fleet{
 		cfg:           cfg,
 		rng:           xrand.New(cfg.Seed),
+		parallelism:   DefaultParallelism(),
 		server:        report.NewServer(cfg.CoresPerMachine),
 		cluster:       sched.NewCluster(),
 		allWork:       corpus.All(),

@@ -18,8 +18,8 @@ func testConfig() Config {
 	cfg.CoresPerMachine = 16
 	cfg.DefectsPerMachine = 0.05 // dense for test speed
 	cfg.Seed = 7
-	cfg.ConfessionConfig = screen.Config{Passes: 60, Points: screen.SweepPoints(2, 1, 2),
-		StopOnDetect: true, MaxOps: 15_000_000}
+	cfg.ConfessionConfig = screen.NewConfig(screen.WithPasses(60),
+		screen.WithSweep(2, 1, 2), screen.WithMaxOps(15_000_000))
 	return cfg
 }
 

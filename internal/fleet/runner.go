@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// defaultParallelism is the worker count used by fleets built through the
+// compatibility entry points (New + Fleet.Run); 0 means GOMAXPROCS. It
+// exists so command-line tools can set a process-wide policy without
+// threading an option through every experiment driver. Results do not
+// depend on it — only wall-clock time does.
+var defaultParallelism int64
+
+// SetDefaultParallelism sets the worker count newly built fleets use when
+// no Runner option overrides it. n <= 0 restores the default
+// (runtime.GOMAXPROCS).
+func SetDefaultParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt64(&defaultParallelism, int64(n))
+}
+
+// DefaultParallelism returns the process-wide default fleet worker count.
+func DefaultParallelism() int {
+	if n := atomic.LoadInt64(&defaultParallelism); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runner is the public entry point for fleet simulation. It owns a Fleet
+// and the run policy around it: how many workers each simulated day is
+// sharded across, and who observes the daily telemetry. The legacy
+// New(cfg)/Fleet.Run path remains as a thin compatibility layer over the
+// same machinery.
+//
+//	r, err := fleet.NewRunner(cfg,
+//	        fleet.WithParallelism(8),
+//	        fleet.WithObserver(func(d fleet.DayStats) { log(d) }))
+//	series := r.Run(365)
+//
+// Determinism contract: for a fixed Config (including Seed), Run produces
+// bit-identical DayStats, quarantine ledger, and triage counters at any
+// parallelism — worker count is a performance knob, never a semantic one.
+type Runner struct {
+	fleet     *Fleet
+	observers []func(DayStats)
+}
+
+// RunnerOption configures a Runner under construction.
+type RunnerOption func(*runnerOptions) error
+
+type runnerOptions struct {
+	parallelism int
+	observers   []func(DayStats)
+}
+
+// WithParallelism shards each simulated day across n workers. n == 0 (the
+// default) selects runtime.GOMAXPROCS; n == 1 forces the serial reference
+// path.
+func WithParallelism(n int) RunnerOption {
+	return func(o *runnerOptions) error {
+		if n < 0 {
+			return fmt.Errorf("fleet: parallelism must be >= 0, got %d", n)
+		}
+		o.parallelism = n
+		return nil
+	}
+}
+
+// WithObserver registers fn to receive every day's telemetry as it is
+// produced — progress meters, live plots, streaming exports. Observers run
+// on the runner's goroutine, after the day completes, in registration
+// order.
+func WithObserver(fn func(DayStats)) RunnerOption {
+	return func(o *runnerOptions) error {
+		if fn == nil {
+			return fmt.Errorf("fleet: nil observer")
+		}
+		o.observers = append(o.observers, fn)
+		return nil
+	}
+}
+
+// NewRunner validates cfg, builds the fleet population deterministically
+// from cfg.Seed, and applies the options.
+func NewRunner(cfg Config, opts ...RunnerOption) (*Runner, error) {
+	if cfg.Machines <= 0 || cfg.CoresPerMachine <= 0 {
+		return nil, fmt.Errorf("fleet: machines and cores must be positive (got %d x %d)",
+			cfg.Machines, cfg.CoresPerMachine)
+	}
+	var o runnerOptions
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	f := New(cfg)
+	if o.parallelism > 0 {
+		f.parallelism = o.parallelism
+	}
+	return &Runner{fleet: f, observers: o.observers}, nil
+}
+
+// Fleet exposes the underlying simulator state (defect ground truth,
+// quarantine manager, scheduler) for metrics and inspection.
+func (r *Runner) Fleet() *Fleet { return r.fleet }
+
+// Parallelism returns the effective worker count.
+func (r *Runner) Parallelism() int { return r.fleet.parallelism }
+
+// Step advances the simulation one day and notifies observers.
+func (r *Runner) Step() DayStats {
+	st := r.fleet.Step()
+	for _, ob := range r.observers {
+		ob(st)
+	}
+	return st
+}
+
+// Run advances the simulation the given number of days and returns the
+// daily series.
+func (r *Runner) Run(days int) []DayStats {
+	out := make([]DayStats, 0, days)
+	for i := 0; i < days; i++ {
+		out = append(out, r.Step())
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/fault"
+	"repro/internal/parallel"
 	"repro/internal/quarantine"
 	"repro/internal/sched"
 	"repro/internal/screen"
@@ -12,6 +13,27 @@ import (
 	"repro/internal/xrand"
 )
 
+// Each simulated day is a pipeline of phases. Phases that touch shared
+// state (RNG forking, signal merge, quarantine decisions) run serially on
+// the caller's goroutine in a fixed order; the two expensive phases — the
+// per-defect production/screening work and the confession screens — are
+// sharded across a worker pool. Every random stream a worker consumes is
+// forked serially beforehand, one per work item, and every worker writes
+// only to its own item's buffer, so the day's outcome is bit-identical at
+// any worker count:
+//
+//	1 serial   shard plan: age cores, compute CEE intensity, fork
+//	           per-site RNG streams in defect-site order
+//	2 parallel per site: analytic production draws + online screening
+//	           against the real corpus, buffered into siteResult
+//	3 serial   single-writer merge of site buffers, in site order
+//	4 serial   fleet-wide software-bug noise from the day stream
+//	5 mixed    human investigations: dedup serially, confess in
+//	           parallel, tally the triage ledger serially
+//	6 mixed    suspect processing: precompute confessions in parallel,
+//	           apply quarantine decisions serially
+//	7 serial   repairs
+//
 // screenCorpusSize returns how many corpus workloads the automated
 // screener has unlocked by the given day (§6's growing test corpus).
 func (f *Fleet) screenCorpusSize(day int) int {
@@ -28,6 +50,42 @@ func (f *Fleet) screenCorpusSize(day int) int {
 	return n
 }
 
+// siteJob is one defective core's shard of a day's work, with its
+// pre-forked random streams.
+type siteJob struct {
+	site *DefectSite
+	// lambda is the expected production corruption count; 0 means the
+	// defect is latent or cannot fire at the operating point.
+	lambda float64
+	// doScreen marks the site for an online-screening tick today.
+	doScreen bool
+	// prodRNG drives the analytic outcome draws and signal attribution;
+	// screenRNG drives the screening workload sampling. Both are forked
+	// serially during planning, so workers never touch a shared stream.
+	prodRNG, screenRNG *xrand.RNG
+}
+
+// invRequest asks for a human investigation of (machine, core).
+type invRequest struct {
+	machine string
+	core    int
+}
+
+// siteResult buffers everything one site's day produced. Workers fill it;
+// the single-writer merge phase drains it in site order.
+type siteResult struct {
+	corruptions int64
+	outcomes    [numOutcomes]int64
+	active      bool
+	// signals holds the rate-limited, attributed signals (production
+	// outcomes and screening failures) in emission order.
+	signals []detect.Signal
+	// invs are the human investigations this site's incidents triggered.
+	invs []invRequest
+	// screenFails counts SigScreenFail entries within signals.
+	screenFails int
+}
+
 // Step advances the simulation by one day and returns its telemetry.
 func (f *Fleet) Step() DayStats {
 	day := f.day
@@ -36,8 +94,11 @@ func (f *Fleet) Step() DayStats {
 	st := DayStats{Day: day}
 	dayRNG := f.rng.Fork(uint64(day) + 0x9e37)
 
-	// 1. Production workload on defective cores: analytic incident
-	// generation plus signal emission.
+	// Phase 1: shard plan (serial). All forks happen here, in defect-site
+	// order.
+	size := f.screenCorpusSize(day)
+	online := &screen.Online{BudgetOps: f.cfg.ScreenOpsPerCoreDay, Workloads: f.allWork[:size]}
+	jobs := make([]siteJob, 0, len(f.defects))
 	for _, site := range f.defects {
 		m := f.machineByID(site.Machine)
 		if m.drained || m.quarantined[site.Core] {
@@ -45,34 +106,41 @@ func (f *Fleet) Step() DayStats {
 		}
 		core := site.Site
 		core.Age = now - m.install
-		lambda := f.dailyLambda(core)
-		if lambda <= 0 {
+		j := siteJob{site: site, lambda: f.dailyLambda(core)}
+		j.doScreen = f.cfg.ScreenOpsPerCoreDay > 0 && core.Mercurial()
+		if j.lambda <= 0 && !j.doScreen {
 			continue
 		}
-		st.ActiveDefects++
-		// Cap: a core cannot corrupt more ops than it executes.
-		if max := f.cfg.DailyOpsPerCore; lambda > max {
-			lambda = max
-		}
-		var n int64
-		if lambda > 1e6 {
-			// Deterministic high-rate defects: Poisson ≈ mean.
-			n = int64(lambda)
-		} else {
-			n = int64(dayRNG.Poisson(lambda))
-		}
-		if n == 0 {
-			continue
-		}
-		st.Corruptions += n
-		outcomes := f.splitOutcomes(n, dayRNG)
-		for o := Outcome(0); o < numOutcomes; o++ {
-			st.ByOutcome[o] += outcomes[o]
-		}
-		f.emitSignals(site, outcomes, now, dayRNG, &st)
+		j.prodRNG = dayRNG.ForkString("prod:" + core.ID)
+		j.screenRNG = dayRNG.ForkString("screen:" + core.ID)
+		jobs = append(jobs, j)
 	}
 
-	// 2. Background software-bug noise over the whole fleet, spread
+	// Phase 2: per-site work (parallel). Each worker owns its site's core
+	// and its own result slot; nothing shared is written.
+	results := make([]siteResult, len(jobs))
+	parallel.ForEach(f.parallelism, len(jobs), func(k int) {
+		results[k] = f.runSite(&jobs[k], online, now)
+	})
+
+	// Phase 3: single-writer merge, in site order.
+	var invs []invRequest
+	for i := range results {
+		r := &results[i]
+		if r.active {
+			st.ActiveDefects++
+		}
+		st.Corruptions += r.corruptions
+		for o := Outcome(0); o < numOutcomes; o++ {
+			st.ByOutcome[o] += r.outcomes[o]
+		}
+		st.ScreenDetections += r.screenFails
+		st.AutoReports += len(r.signals)
+		f.server.IngestBatch(r.signals)
+		invs = append(invs, r.invs...)
+	}
+
+	// Phase 4: background software-bug noise over the whole fleet, spread
 	// evenly — the signals the concentration test must reject.
 	noiseLambda := f.cfg.SoftwareBugSignalsPerMachineDay * float64(len(f.machines))
 	noise := dayRNG.Poisson(noiseLambda)
@@ -90,24 +158,256 @@ func (f *Fleet) Step() DayStats {
 		// Some bug-noise also triggers human investigation — the false
 		// accusations in §6's triage ledger.
 		if dayRNG.Bernoulli(f.cfg.UserReportFraction) {
-			f.fileUserReport(m.ID, coreIdx, now, &st)
+			invs = append(invs, invRequest{machine: m.ID, core: coreIdx})
 		}
 	}
 
-	// 3. Online screening: real corpus execution against defective
-	// cores (healthy cores cannot fail self-checks, so only their cost
-	// would matter; it is accounted implicitly by the budget).
-	f.runScreening(day, now, dayRNG, &st)
+	// Phase 5: human triage — confession screens run in parallel, the
+	// ledger is tallied serially.
+	f.processInvestigations(invs, now, dayRNG, &st)
 
-	// 4. Suspect processing: concentration-tested nominations flow into
-	// quarantine with confession testing against the real core.
+	// Phase 6: suspect processing — concentration-tested nominations flow
+	// into quarantine with confession testing against the real core.
 	f.processSuspects(now, dayRNG, &st)
 
-	// 5. Repairs: isolated hardware returns to service with healthy
+	// Phase 7: repairs — isolated hardware returns to service with healthy
 	// replacement silicon after the RMA turnaround.
 	f.processRepairs(day, &st)
 
 	return st
+}
+
+// runSite performs one site's day: analytic production-workload CEE
+// manifestation and, for mercurial cores, a real online-screening tick. It
+// runs on a worker goroutine and must only touch the site's own core and
+// the returned buffer (f is read-only here).
+func (f *Fleet) runSite(j *siteJob, online *screen.Online, now simtime.Time) siteResult {
+	var r siteResult
+	site := j.site
+	if j.lambda > 0 {
+		r.active = true
+		lambda := j.lambda
+		// Cap: a core cannot corrupt more ops than it executes.
+		if max := f.cfg.DailyOpsPerCore; lambda > max {
+			lambda = max
+		}
+		var n int64
+		if lambda > 1e6 {
+			// Deterministic high-rate defects: Poisson ≈ mean.
+			n = int64(lambda)
+		} else {
+			n = int64(j.prodRNG.Poisson(lambda))
+		}
+		if n > 0 {
+			r.corruptions = n
+			r.outcomes = f.splitOutcomes(n, j.prodRNG)
+			f.emitSignals(site, &r, now, j.prodRNG)
+		}
+	}
+	if j.doScreen {
+		// Online screening: real corpus execution against the defective
+		// core (healthy cores cannot fail self-checks, so only their cost
+		// would matter; it is accounted implicitly by the budget).
+		found, _ := online.Tick(site.Site, j.screenRNG)
+		for range found {
+			r.signals = append(r.signals, detect.Signal{
+				Machine: site.Machine, Core: site.Core,
+				Kind: detect.SigScreenFail, Time: now,
+			})
+			r.screenFails++
+		}
+	}
+	return r
+}
+
+// emitSignals converts one site's daily outcomes into rate-limited signal
+// and investigation buffers.
+func (f *Fleet) emitSignals(site *DefectSite, r *siteResult, now simtime.Time, rng *xrand.RNG) {
+	budget := f.cfg.MaxSignalsPerCoreDay
+	if budget <= 0 {
+		budget = 10
+	}
+	emit := func(kind detect.SignalKind, count int64) {
+		for i := int64(0); i < count && budget > 0; i++ {
+			budget--
+			core := site.Core
+			if !rng.Bernoulli(f.cfg.PCoreAttribution) {
+				core = -1 // machine-level attribution only
+			}
+			r.signals = append(r.signals, detect.Signal{
+				Machine: site.Machine, Core: core, Kind: kind, Time: now,
+			})
+		}
+	}
+	emit(detect.SigAppError, r.outcomes[OutcomeImmediate])
+	emit(detect.SigCrash, r.outcomes[OutcomeCrash])
+	emit(detect.SigMCE, r.outcomes[OutcomeMCE])
+	emit(detect.SigAppError, r.outcomes[OutcomeLate])
+	// Detected incidents spawn human investigations at the configured
+	// rate; humans usually finger the right core, sometimes a neighbour.
+	detected := r.outcomes[OutcomeImmediate] + r.outcomes[OutcomeCrash] + r.outcomes[OutcomeLate]
+	investigations := rng.Binomial(int(min64(detected, 50)), f.cfg.UserReportFraction)
+	for i := 0; i < investigations; i++ {
+		coreIdx := site.Core
+		if !rng.Bernoulli(f.cfg.PCoreAttribution) {
+			coreIdx = rng.Intn(f.cfg.CoresPerMachine) // wrong core fingered
+		}
+		r.invs = append(r.invs, invRequest{machine: site.Machine, core: coreIdx})
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// confessJob is one deferred confession screen, with the stream it must
+// consume pre-forked.
+type confessJob struct {
+	machine        string
+	core           int
+	truthDefective bool
+	fc             *fault.Core
+	rng            *xrand.RNG
+	conf           detect.Confession
+}
+
+// processInvestigations records user reports, dedups human investigations
+// (production humans investigate a suspect machine once, not per
+// incident), extracts confessions via further testing (§6) in parallel,
+// and tallies the triage ledger in request order.
+func (f *Fleet) processInvestigations(invs []invRequest, now simtime.Time, dayRNG *xrand.RNG, st *DayStats) {
+	var jobs []confessJob
+	for _, iv := range invs {
+		f.server.Ingest(detect.Signal{
+			Machine: iv.machine, Core: iv.core, Kind: detect.SigUserReport, Time: now,
+		})
+		st.UserReports++
+		if f.userSeen[iv.machine] {
+			continue
+		}
+		f.userSeen[iv.machine] = true
+		f.Triage.Investigated++
+		ref := sched.CoreRef{Machine: iv.machine, Core: iv.core}
+		jobs = append(jobs, confessJob{
+			machine:        iv.machine,
+			core:           iv.core,
+			truthDefective: f.machineByID(iv.machine).Defective[iv.core] != nil,
+			fc:             f.coreFor(ref), // may fork f.rng: serial only
+			rng:            dayRNG.ForkString("confess:" + ref.String()),
+		})
+	}
+	cfg := f.confessionConfig()
+	// The cores are distinct (one investigation per machine per run), so
+	// the screens shard cleanly.
+	parallel.ForEach(f.parallelism, len(jobs), func(k int) {
+		jobs[k].conf = detect.Confess(jobs[k].fc, cfg, jobs[k].rng)
+	})
+	for i := range jobs {
+		switch {
+		case jobs[i].conf.Confirmed:
+			f.Triage.Confirmed++
+		case jobs[i].truthDefective:
+			f.Triage.RealNotReproduced++
+		default:
+			f.Triage.FalseAccusations++
+		}
+	}
+}
+
+// coreFor returns the materialized defective core at ref, or a fresh
+// healthy core (healthy cores are not stored). It forks the fleet's master
+// stream for healthy cores and must only be called from the serial phases.
+func (f *Fleet) coreFor(ref sched.CoreRef) *fault.Core {
+	m := f.machineByID(ref.Machine)
+	if core, ok := m.Defective[ref.Core]; ok {
+		return core
+	}
+	return fault.NewCore(ref.String(), f.rng.ForkString("healthy:"+ref.String()))
+}
+
+func (f *Fleet) confessionConfig() screen.Config {
+	cfg := f.cfg.ConfessionConfig
+	if cfg.Passes == 0 {
+		cfg = screen.NewConfig(screen.WithPasses(60), screen.WithSweep(2, 1, 2),
+			screen.WithMaxOps(15_000_000))
+	}
+	return cfg
+}
+
+// processSuspects runs the tracker's nominations through the quarantine
+// manager, binding confessions to the real cores. The isolation decisions
+// are inherently serial (each may drain a machine or shift cluster
+// capacity), but the expensive part — the deep confession screens — is
+// precomputed in parallel for every suspect the manager would screen, each
+// against its own core with its own pre-forked stream.
+func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStats) {
+	suspects := f.server.Suspects()
+	if len(suspects) == 0 {
+		return
+	}
+	jobs := make([]confessJob, len(suspects))
+	var runnable []int
+	for i, s := range suspects {
+		ref := sched.CoreRef{Machine: s.Machine, Core: s.Core}
+		// Fork unconditionally, in suspect order, so the stream a suspect
+		// consumes does not depend on its neighbours' gate outcomes.
+		jobs[i].rng = dayRNG.ForkString("suspect:" + ref.String())
+		if !f.manager.NeedsConfession(s, now) {
+			continue
+		}
+		jobs[i].fc = f.coreFor(ref)
+		runnable = append(runnable, i)
+	}
+	cfg := f.manager.ConfessionScreenConfig()
+	parallel.ForEach(f.parallelism, len(runnable), func(k int) {
+		j := &jobs[runnable[k]]
+		j.conf = detect.Confess(j.fc, cfg, j.rng)
+	})
+	for i, s := range suspects {
+		ref := sched.CoreRef{Machine: s.Machine, Core: s.Core}
+		if f.manager.Isolated(ref) {
+			continue
+		}
+		j := &jobs[i]
+		rec, err := f.manager.Handle(s, now, func(cfg screen.Config) detect.Confession {
+			if j.fc == nil {
+				// The precompute gate said no confession would be needed
+				// but the manager asked anyway (e.g. state changed while
+				// handling an earlier suspect): run it now, on the stream
+				// reserved for this suspect.
+				return detect.Confess(f.coreFor(ref), cfg, j.rng)
+			}
+			return j.conf
+		})
+		if err != nil || rec == nil {
+			continue
+		}
+		st.NewQuarantines++
+		f.quarantineDay[ref] = f.day - 1
+		m := f.machineByID(s.Machine)
+		if rec.Mode == quarantine.MachineDrain {
+			m.drained = true
+			f.server.Forget(s.Machine)
+			if f.cfg.RepairAfterDays > 0 {
+				f.repairQueue = append(f.repairQueue, repairTicket{
+					machine: s.Machine, core: -1,
+					dueDay: f.day - 1 + f.cfg.RepairAfterDays,
+				})
+			}
+		} else {
+			m.quarantined[s.Core] = true
+			f.server.ForgetCore(s.Machine, s.Core)
+			if f.cfg.RepairAfterDays > 0 {
+				f.repairQueue = append(f.repairQueue, repairTicket{
+					machine: s.Machine, core: s.Core,
+					dueDay: f.day - 1 + f.cfg.RepairAfterDays,
+				})
+			}
+		}
+	}
 }
 
 // processRepairs completes due repair tickets: the defective silicon is
@@ -175,171 +475,9 @@ func (f *Fleet) machineByID(id string) *Machine {
 	return f.machines[n]
 }
 
-// emitSignals converts one core's daily outcomes into rate-limited signals
-// to the report service.
-func (f *Fleet) emitSignals(site *DefectSite, outcomes [numOutcomes]int64, now simtime.Time, rng *xrand.RNG, st *DayStats) {
-	budget := f.cfg.MaxSignalsPerCoreDay
-	if budget <= 0 {
-		budget = 10
-	}
-	emit := func(kind detect.SignalKind, count int64) {
-		for i := int64(0); i < count && budget > 0; i++ {
-			budget--
-			core := site.Core
-			if !rng.Bernoulli(f.cfg.PCoreAttribution) {
-				core = -1 // machine-level attribution only
-			}
-			f.server.Ingest(detect.Signal{
-				Machine: site.Machine, Core: core, Kind: kind, Time: now,
-			})
-			st.AutoReports++
-		}
-	}
-	emit(detect.SigAppError, outcomes[OutcomeImmediate])
-	emit(detect.SigCrash, outcomes[OutcomeCrash])
-	emit(detect.SigMCE, outcomes[OutcomeMCE])
-	emit(detect.SigAppError, outcomes[OutcomeLate])
-	// Detected incidents spawn human investigations at the configured
-	// rate; humans usually finger the right core, sometimes a neighbour.
-	detected := outcomes[OutcomeImmediate] + outcomes[OutcomeCrash] + outcomes[OutcomeLate]
-	investigations := rng.Binomial(int(min64(detected, 50)), f.cfg.UserReportFraction)
-	for i := 0; i < investigations; i++ {
-		coreIdx := site.Core
-		if !rng.Bernoulli(f.cfg.PCoreAttribution) {
-			coreIdx = rng.Intn(f.cfg.CoresPerMachine) // wrong core fingered
-		}
-		f.fileUserReport(site.Machine, coreIdx, now, st)
-	}
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// fileUserReport records a human-filed suspicion and queues it for triage.
-// Each suspect machine is investigated at most once — humans triage the
-// incident stream per machine, not per event.
-func (f *Fleet) fileUserReport(machine string, coreIdx int, now simtime.Time, st *DayStats) {
-	f.server.Ingest(detect.Signal{
-		Machine: machine, Core: coreIdx, Kind: detect.SigUserReport, Time: now,
-	})
-	st.UserReports++
-	if f.userSeen[machine] {
-		return
-	}
-	f.userSeen[machine] = true
-	// Human triage: extract a confession via further testing (§6).
-	f.Triage.Investigated++
-	ref := sched.CoreRef{Machine: machine, Core: coreIdx}
-	core := f.coreFor(ref)
-	truthDefective := f.machineByID(machine).Defective[coreIdx] != nil
-	conf := detect.Confess(core, f.confessionConfig(), f.rng.Fork(uint64(len(f.userSeen))))
-	switch {
-	case conf.Confirmed:
-		f.Triage.Confirmed++
-	case truthDefective:
-		f.Triage.RealNotReproduced++
-	default:
-		f.Triage.FalseAccusations++
-	}
-}
-
-// coreFor returns the materialized defective core at ref, or a fresh
-// healthy core (healthy cores are not stored).
-func (f *Fleet) coreFor(ref sched.CoreRef) *fault.Core {
-	m := f.machineByID(ref.Machine)
-	if core, ok := m.Defective[ref.Core]; ok {
-		return core
-	}
-	return fault.NewCore(ref.String(), f.rng.ForkString("healthy:"+ref.String()))
-}
-
-func (f *Fleet) confessionConfig() screen.Config {
-	cfg := f.cfg.ConfessionConfig
-	if cfg.Passes == 0 {
-		cfg = screen.Config{Passes: 60, Points: screen.SweepPoints(2, 1, 2),
-			StopOnDetect: true, MaxOps: 15_000_000}
-	}
-	return cfg
-}
-
-// runScreening executes real online screening against every active
-// defective core with the day's unlocked corpus subset.
-func (f *Fleet) runScreening(day int, now simtime.Time, rng *xrand.RNG, st *DayStats) {
-	if f.cfg.ScreenOpsPerCoreDay == 0 {
-		return // screening disabled: detection relies on incident signals only
-	}
-	size := f.screenCorpusSize(day)
-	ws := f.allWork[:size]
-	online := &screen.Online{BudgetOps: f.cfg.ScreenOpsPerCoreDay, Workloads: ws}
-	for _, site := range f.defects {
-		m := f.machineByID(site.Machine)
-		if m.drained || m.quarantined[site.Core] {
-			continue
-		}
-		core := site.Site
-		core.Age = now - m.install
-		if !core.Mercurial() {
-			continue // latent: screening cannot catch it yet
-		}
-		found, _ := online.Tick(core, rng.ForkString("screen:"+core.ID))
-		for range found {
-			f.server.Ingest(detect.Signal{
-				Machine: site.Machine, Core: site.Core,
-				Kind: detect.SigScreenFail, Time: now,
-			})
-			st.ScreenDetections++
-			st.AutoReports++
-		}
-	}
-}
-
-// processSuspects runs the tracker's nominations through the quarantine
-// manager, binding confessions to the real cores.
-func (f *Fleet) processSuspects(now simtime.Time, rng *xrand.RNG, st *DayStats) {
-	for _, s := range f.server.Suspects() {
-		ref := sched.CoreRef{Machine: s.Machine, Core: s.Core}
-		if f.manager.Isolated(ref) {
-			continue
-		}
-		core := f.coreFor(ref)
-		seed := rng.Uint64()
-		rec, err := f.manager.Handle(s, now, func(cfg screen.Config) detect.Confession {
-			return detect.Confess(core, cfg, xrand.New(seed))
-		})
-		if err != nil || rec == nil {
-			continue
-		}
-		st.NewQuarantines++
-		f.quarantineDay[ref] = f.day - 1
-		m := f.machineByID(s.Machine)
-		if rec.Mode == quarantine.MachineDrain {
-			m.drained = true
-			f.server.Forget(s.Machine)
-			if f.cfg.RepairAfterDays > 0 {
-				f.repairQueue = append(f.repairQueue, repairTicket{
-					machine: s.Machine, core: -1,
-					dueDay: f.day - 1 + f.cfg.RepairAfterDays,
-				})
-			}
-		} else {
-			m.quarantined[s.Core] = true
-			f.server.ForgetCore(s.Machine, s.Core)
-			if f.cfg.RepairAfterDays > 0 {
-				f.repairQueue = append(f.repairQueue, repairTicket{
-					machine: s.Machine, core: s.Core,
-					dueDay: f.day - 1 + f.cfg.RepairAfterDays,
-				})
-			}
-		}
-	}
-}
-
 // Run advances the simulation the given number of days and returns the
-// daily series.
+// daily series. It is the compatibility entry point; new code should use
+// NewRunner, which adds parallelism and observer options.
 func (f *Fleet) Run(days int) []DayStats {
 	out := make([]DayStats, 0, days)
 	for i := 0; i < days; i++ {
@@ -348,7 +486,7 @@ func (f *Fleet) Run(days int) []DayStats {
 	return out
 }
 
-// WeeklyRates aggregates a daily series into per-machine weekly report
+// WeeklyRate aggregates a daily series into per-machine weekly report
 // rates — the two curves of Fig. 1.
 type WeeklyRate struct {
 	Week int

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/fleet"
@@ -14,9 +16,48 @@ func testFleetConfig() fleet.Config {
 	cfg.CoresPerMachine = 16
 	cfg.DefectsPerMachine = 0.05
 	cfg.Seed = 7
-	cfg.ConfessionConfig = screen.Config{Passes: 30, Points: screen.SweepPoints(2, 1, 2),
-		StopOnDetect: true, MaxOps: 8_000_000}
+	cfg.ConfessionConfig = screen.NewConfig(screen.WithPasses(30),
+		screen.WithSweep(2, 1, 2), screen.WithMaxOps(8_000_000))
 	return cfg
+}
+
+// TestDetectionDeterministicAcrossParallelism is the regression guard for
+// the parallel fleet: the same Config.Seed must yield an identical
+// DetectionReport and an identical quarantine ledger — including isolation
+// order — whether the simulation runs serial or sharded.
+func TestDetectionDeterministicAcrossParallelism(t *testing.T) {
+	const days = 45
+	type outcome struct {
+		report DetectionReport
+		ledger []string
+	}
+	run := func(parallelism int) outcome {
+		r, err := fleet.NewRunner(testFleetConfig(), fleet.WithParallelism(parallelism))
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		r.Run(days)
+		var refs []string
+		for _, rec := range r.Fleet().Manager().Records() {
+			refs = append(refs, rec.Ref.String())
+		}
+		return outcome{report: Detection(r.Fleet(), days), ledger: refs}
+	}
+	serial := run(1)
+	if serial.report.Quarantined == 0 {
+		t.Fatal("serial run quarantined nothing; test would be vacuous")
+	}
+	for _, p := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := run(p)
+		if !reflect.DeepEqual(serial.report, got.report) {
+			t.Errorf("parallelism %d: DetectionReport diverged\nserial: %+v\ngot:    %+v",
+				p, serial.report, got.report)
+		}
+		if !reflect.DeepEqual(serial.ledger, got.ledger) {
+			t.Errorf("parallelism %d: quarantine ledger order diverged\nserial: %v\ngot:    %v",
+				p, serial.ledger, got.ledger)
+		}
+	}
 }
 
 func TestDetectionReport(t *testing.T) {

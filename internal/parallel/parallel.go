@@ -1,0 +1,66 @@
+// Package parallel provides the bounded worker pool used to shard
+// simulator work — fleet day-steps, batch screening — across host cores.
+//
+// The pool is deliberately dumb: callers are responsible for determinism.
+// The contract every caller in this repository follows is
+//
+//  1. derive any random streams *before* fanning out, in a fixed serial
+//     order (xrand.RNG.Fork / ForkString), one independent stream per
+//     work item;
+//  2. have fn(i) write only to state owned by item i (its own core, its
+//     own result slot);
+//  3. merge results *after* ForEach returns, in item-index order, from a
+//     single goroutine.
+//
+// Under that contract the result is bit-identical at any worker count,
+// which is what the fleet determinism tests assert.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) once for every i in [0, n), fanning the calls out
+// across up to `workers` goroutines, and returns when all calls have
+// completed. workers <= 0 selects runtime.GOMAXPROCS(0). With one worker
+// (or one item) the calls run inline on the caller's goroutine, in order —
+// the serial reference behavior.
+func ForEach(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Work-stealing by atomic index grab: items are cheap to claim and
+	// wildly uneven in cost (a latent core's day is a no-op; a confessing
+	// core runs millions of engine ops), so static chunking would strand
+	// workers behind the hot shard.
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

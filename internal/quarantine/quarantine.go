@@ -80,12 +80,22 @@ type Record struct {
 	ReplacedTasks int
 }
 
-// Manager applies isolation policy to suspects.
+// Manager applies isolation policy to suspects. It is a single-writer
+// structure: Handle/Release mutate it and must be called from one
+// goroutine at a time. The expensive part of handling — the confession
+// screen — can be computed outside the manager (see NeedsConfession and
+// ConfessionScreenConfig) and passed in through Handle's confess callback,
+// which is how the fleet simulator runs confessions in parallel while
+// keeping isolation decisions serial and deterministic.
 type Manager struct {
 	Cluster *sched.Cluster
 	Policy  Policy
 	// records, keyed by core, prevents double-isolating.
 	records map[sched.CoreRef]*Record
+	// ledger remembers isolation order, so Records is deterministic (map
+	// iteration is not) — the quarantine ledger the determinism tests
+	// compare across worker counts.
+	ledger []sched.CoreRef
 	// declinedAt remembers when a suspect was last declined, to avoid
 	// re-running expensive confessions on every evaluation cycle.
 	declinedAt map[sched.CoreRef]simtime.Time
@@ -115,16 +125,60 @@ func (m *Manager) Isolated(ref sched.CoreRef) bool {
 func (m *Manager) Release(ref sched.CoreRef) {
 	delete(m.records, ref)
 	delete(m.declinedAt, ref)
+	for i, r := range m.ledger {
+		if r == ref {
+			m.ledger = append(m.ledger[:i], m.ledger[i+1:]...)
+			break
+		}
+	}
 }
 
-// Records returns all isolation records (map iteration hidden behind a
-// deterministic need? callers sort by Ref when printing).
+// Records returns the live isolation records in isolation order — a
+// deterministic ledger. Released (repaired) cores are omitted.
 func (m *Manager) Records() []*Record {
 	out := make([]*Record, 0, len(m.records))
-	for _, r := range m.records {
-		out = append(out, r)
+	for _, ref := range m.ledger {
+		if r, ok := m.records[ref]; ok {
+			out = append(out, r)
+		}
 	}
 	return out
+}
+
+// NeedsConfession reports whether Handle, called now for this suspect,
+// would run a confession screen: the policy demands one, the core is not
+// already isolated, no decline cool-down is active, and the score clears
+// the policy floor. Batch drivers use this to precompute confessions in
+// parallel before applying decisions serially.
+func (m *Manager) NeedsConfession(s detect.Suspect, now simtime.Time) bool {
+	if !m.Policy.RequireConfession && m.Policy.Mode != SafeTasks {
+		return false
+	}
+	ref := sched.CoreRef{Machine: s.Machine, Core: s.Core}
+	if m.Isolated(ref) {
+		return false
+	}
+	if when, ok := m.declinedAt[ref]; ok {
+		if m.Policy.DeclineRetry == 0 || now-when < m.Policy.DeclineRetry {
+			return false
+		}
+	}
+	return s.Score() >= m.Policy.MinScore
+}
+
+// ConfessionScreenConfig returns the exact screening configuration Handle
+// passes to its confess callback, so precomputed confessions match lazy
+// ones bit for bit.
+func (m *Manager) ConfessionScreenConfig() screen.Config {
+	cfg := m.Policy.ConfessionConfig
+	if cfg.Passes == 0 {
+		cfg = screen.Deep()
+	}
+	// SafeTasks needs the full defect picture, not the first hit.
+	if m.Policy.Mode == SafeTasks {
+		cfg.StopOnDetect = false
+	}
+	return cfg
 }
 
 // BannedUnits derives the execution units implicated by a screening
@@ -170,15 +224,7 @@ func (m *Manager) Handle(s detect.Suspect, now simtime.Time, confess func(screen
 	rec := &Record{Ref: ref, Suspect: s, Mode: m.Policy.Mode, When: now}
 	var conf detect.Confession
 	if m.Policy.RequireConfession || m.Policy.Mode == SafeTasks {
-		cfg := m.Policy.ConfessionConfig
-		if cfg.Passes == 0 {
-			cfg = screen.Deep()
-		}
-		// SafeTasks needs the full defect picture, not the first hit.
-		if m.Policy.Mode == SafeTasks {
-			cfg.StopOnDetect = false
-		}
-		conf = confess(cfg)
+		conf = confess(m.ConfessionScreenConfig())
 		rec.Confessed = conf.Confirmed
 		if m.Policy.RequireConfession && !conf.Confirmed {
 			m.Declined++
@@ -236,5 +282,6 @@ func (m *Manager) Handle(s detect.Suspect, now simtime.Time, confess func(screen
 		}
 	}
 	m.records[ref] = rec
+	m.ledger = append(m.ledger, ref)
 	return rec, nil
 }

@@ -40,6 +40,16 @@ type StatsJSON struct {
 	Suspects     int `json:"suspects"`
 }
 
+// ErrorJSON is the error envelope every non-2xx API response carries.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// HealthJSON is the /v1/healthz response body.
+type HealthJSON struct {
+	Status string `json:"status"`
+}
+
 // kindFromString maps wire kinds to detect.SignalKind; unknown kinds map
 // to SigAppError so that forward-compatible clients degrade gracefully.
 func kindFromString(s string) detect.SignalKind {
@@ -82,26 +92,47 @@ func NewServer(coresPerMachine int) *Server {
 //	POST /v1/report   — submit a Report
 //	GET  /v1/suspects — list nominated suspects
 //	GET  /v1/stats    — service statistics
+//	GET  /v1/healthz  — liveness probe, {"status":"ok"}
+//
+// Every error response carries the JSON envelope {"error":"..."} with the
+// matching HTTP status code (400 for malformed or incomplete reports, 405
+// for a wrong method).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/suspects", s.handleSuspects)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	return mux
+}
+
+// writeError sends the API's uniform JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, HealthJSON{Status: "ok"})
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var rep Report
 	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
-		http.Error(w, fmt.Sprintf("bad report: %v", err), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad report: %v", err)
 		return
 	}
 	if rep.Machine == "" {
-		http.Error(w, "machine required", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "machine required")
 		return
 	}
 	sig := detect.Signal{
@@ -125,6 +156,25 @@ func (s *Server) Ingest(sig detect.Signal) {
 	s.mu.Unlock()
 	if cb != nil {
 		cb(sig)
+	}
+}
+
+// IngestBatch adds a buffer of signals under one lock acquisition — the
+// merge path for producers (parallel fleet shards) that accumulate
+// signals privately and hand them over in deterministic order.
+func (s *Server) IngestBatch(sigs []detect.Signal) {
+	if len(sigs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.tracker.AddBatch(sigs)
+	s.total += len(sigs)
+	cb := s.OnSignal
+	s.mu.Unlock()
+	if cb != nil {
+		for _, sig := range sigs {
+			cb(sig)
+		}
 	}
 }
 
@@ -158,7 +208,7 @@ func (s *Server) TotalReports() int {
 
 func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	sus := s.Suspects()
@@ -174,7 +224,7 @@ func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	s.mu.Lock()

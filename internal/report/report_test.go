@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/detect"
+	"repro/internal/simtime"
 )
 
 func newTestService(t *testing.T) (*Server, *Client) {
@@ -107,6 +109,106 @@ func TestRejectsBadRequests(t *testing.T) {
 
 	if srv.TotalReports() != 0 {
 		t.Fatalf("bad requests were counted: %d", srv.TotalReports())
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := NewServer(8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/healthz -> %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var h HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	srv := NewServer(8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"wrong method on report", http.MethodGet, "/v1/report", "", http.StatusMethodNotAllowed},
+		{"malformed json", http.MethodPost, "/v1/report", "{nope", http.StatusBadRequest},
+		{"missing machine", http.MethodPost, "/v1/report", `{"core":1}`, http.StatusBadRequest},
+		{"wrong method on suspects", http.MethodPost, "/v1/suspects", "{}", http.StatusMethodNotAllowed},
+		{"wrong method on stats", http.MethodPost, "/v1/stats", "{}", http.StatusMethodNotAllowed},
+		{"wrong method on healthz", http.MethodPost, "/v1/healthz", "{}", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: Content-Type = %q, want application/json", tc.name, ct)
+		}
+		var e ErrorJSON
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: body is not the error envelope: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if e.Error == "" {
+			t.Fatalf("%s: empty error message", tc.name)
+		}
+	}
+}
+
+func TestIngestBatchMatchesSerialIngest(t *testing.T) {
+	sigs := make([]detect.Signal, 0, 12)
+	for i := 0; i < 12; i++ {
+		sigs = append(sigs, detect.Signal{
+			Machine: "m", Core: i % 3, Kind: detect.SigCrash,
+			Time: simtime.Time(i),
+		})
+	}
+	one, batch := NewServer(16), NewServer(16)
+	var seen int
+	batch.OnSignal = func(detect.Signal) { seen++ }
+	for _, s := range sigs {
+		one.Ingest(s)
+	}
+	batch.IngestBatch(nil) // no-op
+	batch.IngestBatch(sigs)
+	if got, want := batch.TotalReports(), one.TotalReports(); got != want {
+		t.Fatalf("totals diverge: batch %d, serial %d", got, want)
+	}
+	if seen != len(sigs) {
+		t.Fatalf("OnSignal saw %d of %d", seen, len(sigs))
+	}
+	a, b := one.Suspects(), batch.Suspects()
+	if len(a) != len(b) {
+		t.Fatalf("suspects diverge: %+v vs %+v", a, b)
+	}
+	for i := range a {
+		if a[i].Machine != b[i].Machine || a[i].Core != b[i].Core || a[i].Reports != b[i].Reports {
+			t.Fatalf("suspect %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
 	}
 }
 
