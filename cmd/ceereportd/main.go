@@ -9,24 +9,39 @@
 // API:
 //
 //	POST /v1/report   {"machine":"m1","core":7,"kind":"app-error","time_sec":0}
-//	                  → 202 on accept, 400 on a malformed or machine-less
-//	                  report, 405 on a non-POST method
+//	                  → 202 on accept; 400 on a malformed report, a
+//	                  machine-less report, trailing bytes after the JSON
+//	                  object, or core < -1 (-1 means machine-level
+//	                  attribution); 405 on a non-POST method; 413 when the
+//	                  body exceeds 64 KiB
 //	GET  /v1/suspects → 200, JSON array of nominated suspects
 //	GET  /v1/stats    → 200, {"total_reports":N,"machines":N,"suspects":N}
+//	                  — machines counts every distinct machine that has
+//	                  ever reported, not just those hosting suspects
+//	GET  /v1/metrics  → 200, Prometheus text format (version 0.0.4):
+//	                  accepted signals by kind, rejected reports by
+//	                  reason, totals
 //	GET  /v1/healthz  → 200, {"status":"ok"} — liveness probe
 //
 // Error contract: every non-2xx response carries Content-Type
 // application/json and the uniform envelope {"error":"<human-readable
 // cause>"}, so clients and load balancers never have to parse free-form
 // text bodies.
+//
+// The server drains gracefully: SIGINT/SIGTERM stops accepting new
+// connections and waits (bounded) for in-flight requests before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/report"
@@ -43,13 +58,39 @@ func main() {
 	}
 	srv := report.NewServer(*cores)
 	httpSrv := &http.Server{
-		Addr:         *addr,
-		Handler:      srv.Handler(),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 10 * time.Second,
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	log.Printf("ceereportd listening on %s (machines shaped %d cores)", *addr, *cores)
-	if err := httpSrv.ListenAndServe(); err != nil {
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ceereportd listening on %s (machines shaped %d cores)", *addr, *cores)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		// Listener failed before any shutdown was requested.
 		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("ceereportd: %v received, draining", sig)
 	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("ceereportd: shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("ceereportd: serve: %v", err)
+		os.Exit(1)
+	}
+	log.Print("ceereportd: drained cleanly")
 }

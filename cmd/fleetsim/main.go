@@ -7,10 +7,21 @@
 //	fleetsim -experiment all         # everything, in order
 //	fleetsim -experiment all -scale full
 //	fleetsim -parallelism 1          # force the serial reference path
+//	fleetsim -trace trace.jsonl      # one traced run: CEE lifecycle JSONL
+//	fleetsim -trace t.jsonl -metrics m.prom -days 90
 //
 // Output is the text tables recorded in EXPERIMENTS.md. Every experiment
 // is bit-identical at any -parallelism; the flag only trades wall-clock
 // time for cores.
+//
+// With -trace (and/or -metrics), fleetsim runs a single instrumented
+// simulation instead of the experiment registry: the CEE lifecycle trace
+// (defect activation → first signal → suspect nomination → quarantine →
+// repair/confession) is written as JSONL to the -trace file, a Prometheus
+// text snapshot of the run's metrics to the -metrics file ("-" means
+// stdout), and the detection report derived purely from the trace is
+// cross-checked against ground truth before the summary prints. The trace
+// too is bit-identical at any -parallelism.
 package main
 
 import (
@@ -21,12 +32,17 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
 	exp := flag.String("experiment", "all", "experiment id (F1, E1..E14) or 'all'")
 	scale := flag.String("scale", "small", "small | full")
 	par := flag.Int("parallelism", 0, "fleet simulation workers (0 = GOMAXPROCS)")
+	tracePath := flag.String("trace", "", "write a CEE lifecycle trace (JSONL) to this file (traced-run mode)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file, '-' for stdout (traced-run mode)")
+	days := flag.Int("days", 45, "days to simulate in traced-run mode")
 	flag.Parse()
 
 	fleet.SetDefaultParallelism(*par)
@@ -40,6 +56,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "fleetsim: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *tracePath != "" || *metricsPath != "" {
+		if err := runTraced(s, *par, *days, *tracePath, *metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := []string{strings.ToUpper(*exp)}
@@ -57,4 +81,78 @@ func main() {
 		fmt.Print(run(s))
 		fmt.Println()
 	}
+}
+
+// runTraced performs one instrumented fleet run at the given scale and
+// dumps the requested observability artifacts.
+func runTraced(s experiments.Scale, par, days int, tracePath, metricsPath string) error {
+	if days <= 0 {
+		return fmt.Errorf("days must be positive, got %d", days)
+	}
+	cfg := experiments.FleetConfig(s)
+	opts := []fleet.RunnerOption{fleet.WithParallelism(par)}
+	var tr *obs.Trace
+	if tracePath != "" {
+		tr = obs.NewTrace()
+		opts = append(opts, fleet.WithTrace(tr))
+	}
+	var reg *obs.Registry
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+		opts = append(opts, fleet.WithMetrics(reg))
+	}
+	r, err := fleet.NewRunner(cfg, opts...)
+	if err != nil {
+		return err
+	}
+	r.Run(days)
+
+	if tr != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s\n", tr.Len(), tracePath)
+	}
+	if reg != nil {
+		out := os.Stdout
+		if metricsPath != "-" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := reg.WritePrometheus(out); err != nil {
+			return err
+		}
+		if metricsPath != "-" {
+			fmt.Printf("metrics: -> %s\n", metricsPath)
+		}
+	}
+
+	rep := metrics.Detection(r.Fleet(), days)
+	fmt.Printf("run: %d days, %d defective cores (%d past onset), %d quarantined (TP %d / FP %d), detected fraction %.3f\n",
+		days, rep.TotalDefective, rep.PastOnset, rep.Quarantined,
+		rep.TruePositive, rep.FalsePositive, rep.DetectedFraction())
+	if tr != nil {
+		fromTrace, err := metrics.DetectionFromTrace(tr.Events(), days)
+		if err != nil {
+			return fmt.Errorf("trace self-check: %w", err)
+		}
+		if fmt.Sprintf("%+v", fromTrace) != fmt.Sprintf("%+v", rep) {
+			return fmt.Errorf("trace self-check failed: trace-derived report %+v != ground truth %+v",
+				fromTrace, rep)
+		}
+		fmt.Println("trace self-check: detection report derived from trace matches ground truth")
+	}
+	return nil
 }

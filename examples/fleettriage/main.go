@@ -2,7 +2,8 @@
 // mercurial cores manifest CEEs under production load, the signal pipeline
 // concentrates reports, online screening extracts failures, suspects
 // confess under deep screening, and the scheduler quarantines cores —
-// ending with the §4 metrics for the run.
+// ending with the §4 metrics for the run, a metrics-registry snapshot,
+// and a trace-derived audit of the detection report.
 //
 //	go run ./examples/fleettriage
 package main
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -24,10 +26,15 @@ func main() {
 	cfg.Seed = 2026
 
 	// The Runner API: each simulated day is sharded across the host's
-	// cores (bit-identical to a serial run), and an observer streams
-	// progress as the quarter unfolds.
+	// cores (bit-identical to a serial run), an observer streams progress
+	// as the quarter unfolds, and the observability layer collects fleet
+	// metrics plus the per-core CEE lifecycle trace.
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace()
 	r, err := fleet.NewRunner(cfg,
 		fleet.WithParallelism(0), // 0 = GOMAXPROCS
+		fleet.WithMetrics(reg),
+		fleet.WithTrace(trace),
 		fleet.WithObserver(func(d fleet.DayStats) {
 			if d.NewQuarantines > 0 {
 				fmt.Printf("  day %3d: %d core(s) quarantined\n", d.Day, d.NewQuarantines)
@@ -89,6 +96,31 @@ func main() {
 	}
 	fmt.Printf("  %d of %d — the reason screening is a lifecycle, not an event (§6)\n",
 		atLarge, len(f.Defects()))
+
+	// The observability layer saw the same run: counters accumulated
+	// lock-free during the sharded phases, and the lifecycle trace is rich
+	// enough to reconstruct the detection scorecard without touching the
+	// fleet's internals — the audit a real fleet would run from logs.
+	fmt.Printf("\nobservability: %d trace events; selected counters:\n", trace.Len())
+	interesting := map[string]bool{
+		"fleet_corruptions_total": true, "ceereport_signals_accepted_total": true,
+		"screen_online_ticks_total": true, "quarantine_isolated_total": true,
+	}
+	for _, s := range reg.Snapshot() {
+		if interesting[s.Name] {
+			fmt.Printf("  %-35s%v = %.0f\n", s.Name, s.Labels, s.Value)
+		}
+	}
+	audit, err := metrics.DetectionFromTrace(trace.Events(), days)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleettriage: trace audit:", err)
+		os.Exit(1)
+	}
+	if audit.TruePositive == rep.TruePositive && audit.FalsePositive == rep.FalsePositive {
+		fmt.Printf("  trace audit: scorecard reconstructed from the event stream matches ground truth\n")
+	} else {
+		fmt.Printf("  trace audit MISMATCH: %+v vs %+v\n", audit, rep)
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -112,6 +112,12 @@ type Tracker struct {
 
 	perCore    map[string]map[int]*coreStats
 	perMachine map[string]int // machine-level (core == -1) signal counts
+	// reporters records every machine that has ever submitted a signal —
+	// including machines whose reports never concentrated into a
+	// nomination. Forget deliberately leaves it alone: it is a lifetime
+	// census (bounded by fleet size), not live tracker state, and it is
+	// what /v1/stats reports as "machines".
+	reporters map[string]bool
 }
 
 type coreStats struct {
@@ -129,11 +135,13 @@ func NewTracker(coresPerMachine int) *Tracker {
 		MinReports:      2,
 		perCore:         map[string]map[int]*coreStats{},
 		perMachine:      map[string]int{},
+		reporters:       map[string]bool{},
 	}
 }
 
 // Add ingests one signal.
 func (t *Tracker) Add(s Signal) {
+	t.reporters[s.Machine] = true
 	if s.Core < 0 {
 		t.perMachine[s.Machine]++
 		return
@@ -186,6 +194,12 @@ func (t *Tracker) ForgetCore(machine string, core int) {
 		}
 	}
 }
+
+// ReportingMachines returns the number of distinct machines that have
+// ever submitted a signal — a lifetime census that, unlike the suspect
+// list, also counts machines whose reports never produced a nomination.
+// Forget does not shrink it.
+func (t *Tracker) ReportingMachines() int { return len(t.reporters) }
 
 // Reports returns the total core-attributed signal count for a machine.
 func (t *Tracker) Reports(machine string) int {

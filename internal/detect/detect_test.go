@@ -282,3 +282,23 @@ func TestForgetCore(t *testing.T) {
 	tr.ForgetCore("nope", 0)
 	tr.Forget("nope")
 }
+
+func TestReportingMachines(t *testing.T) {
+	tr := NewTracker(8)
+	if tr.ReportingMachines() != 0 {
+		t.Fatal("fresh tracker has reporters")
+	}
+	tr.Add(Signal{Machine: "a", Core: 1, Kind: SigCrash})
+	tr.Add(Signal{Machine: "a", Core: 2, Kind: SigMCE})
+	tr.Add(Signal{Machine: "b", Core: -1, Kind: SigCrash}) // machine-level only
+	tr.Add(Signal{Machine: "c", Core: 0, Kind: SigAppError})
+	if got := tr.ReportingMachines(); got != 3 {
+		t.Fatalf("ReportingMachines = %d, want 3", got)
+	}
+	// The census is lifetime, not live state: Forget does not shrink it.
+	tr.Forget("a")
+	tr.ForgetCore("c", 0)
+	if got := tr.ReportingMachines(); got != 3 {
+		t.Fatalf("ReportingMachines after Forget = %d, want 3", got)
+	}
+}

@@ -48,6 +48,11 @@ func fleetConfig(s Scale) fleet.Config {
 	return cfg
 }
 
+// FleetConfig exposes the per-scale base configuration to external
+// drivers — cmd/fleetsim's traced-run mode simulates the same fleet the
+// experiments do.
+func FleetConfig(s Scale) fleet.Config { return fleetConfig(s) }
+
 func days(s Scale, small, full int) int {
 	if s == Full {
 		return full

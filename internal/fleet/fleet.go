@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/quarantine"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -159,6 +160,8 @@ type DefectSite struct {
 	FirstActive simtime.Time
 	// Repaired is set when the defective silicon was replaced.
 	Repaired bool
+	// activationTraced dedups the lifecycle trace's activation event.
+	activationTraced bool
 }
 
 // Machine is the simulator's per-machine record.
@@ -301,6 +304,16 @@ type Fleet struct {
 	// userSeen dedups human investigations per machine: production
 	// humans investigate a suspect machine once, not per incident.
 	userSeen map[string]bool
+	// Observability sinks (optional; see SetMetrics/SetTrace). Both are
+	// written only from serial phases or via lock-free instruments, so
+	// they never perturb the determinism contract.
+	obs   *obs.Registry
+	trace *obs.Trace
+	// sigSeen and nominated dedup the lifecycle trace's first-signal and
+	// suspect-nominated events per core; repairs reset them so replaced
+	// silicon starts a fresh stream.
+	sigSeen   map[sched.CoreRef]bool
+	nominated map[sched.CoreRef]bool
 }
 
 // New builds the fleet population deterministically from cfg.
@@ -326,6 +339,8 @@ func New(cfg Config) *Fleet {
 		allWork:       corpus.All(),
 		quarantineDay: map[sched.CoreRef]int{},
 		userSeen:      map[string]bool{},
+		sigSeen:       map[sched.CoreRef]bool{},
+		nominated:     map[sched.CoreRef]bool{},
 	}
 	f.manager = quarantine.NewManager(f.cluster, cfg.Policy)
 	popRNG := f.rng.ForkString("population")
@@ -388,6 +403,26 @@ func New(cfg Config) *Fleet {
 
 // Config returns the fleet's configuration.
 func (f *Fleet) Config() Config { return f.cfg }
+
+// SetMetrics routes the whole stack's telemetry — per-phase wall time,
+// report-service counters, screening passes, quarantine ledger
+// transitions — into one shared registry. Call before the first Step.
+// Metrics never affect simulation results: nothing here consumes
+// randomness or changes control flow.
+func (f *Fleet) SetMetrics(reg *obs.Registry) {
+	f.obs = reg
+	f.server.SetMetrics(reg)
+	f.manager.Metrics = reg
+}
+
+// SetTrace attaches a CEE-lifecycle trace. Call before the first Step:
+// the ground-truth defect population is emitted on day 0. All emission
+// happens in the serial phases of a day, so the stream is bit-identical
+// at any parallelism.
+func (f *Fleet) SetTrace(tr *obs.Trace) { f.trace = tr }
+
+// Trace returns the attached lifecycle trace (nil when tracing is off).
+func (f *Fleet) Trace() *obs.Trace { return f.trace }
 
 // Defects returns the ground-truth defect sites.
 func (f *Fleet) Defects() []*DefectSite { return f.defects }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // defaultParallelism is the worker count used by fleets built through the
@@ -48,6 +51,7 @@ func DefaultParallelism() int {
 type Runner struct {
 	fleet     *Fleet
 	observers []func(DayStats)
+	metrics   *obs.Registry
 }
 
 // RunnerOption configures a Runner under construction.
@@ -56,6 +60,8 @@ type RunnerOption func(*runnerOptions) error
 type runnerOptions struct {
 	parallelism int
 	observers   []func(DayStats)
+	metrics     *obs.Registry
+	trace       *obs.Trace
 }
 
 // WithParallelism shards each simulated day across n workers. n == 0 (the
@@ -85,6 +91,36 @@ func WithObserver(fn func(DayStats)) RunnerOption {
 	}
 }
 
+// WithMetrics routes the run's telemetry into reg: per-day fleet counters
+// and gauges, per-phase wall-time histograms, screening and quarantine
+// instrumentation, and the report server's ingest counters. Recording is
+// lock-free and never consumes randomness, so attaching a registry does
+// not perturb simulation results. Nil is rejected — omit the option to
+// run without metrics.
+func WithMetrics(reg *obs.Registry) RunnerOption {
+	return func(o *runnerOptions) error {
+		if reg == nil {
+			return fmt.Errorf("fleet: nil metrics registry")
+		}
+		o.metrics = reg
+		return nil
+	}
+}
+
+// WithTrace attaches a CEE lifecycle trace: every defect activation, first
+// signal, suspect nomination, confession, quarantine, release, and repair
+// is appended to tr as it happens. Events are emitted only from the serial
+// phases of each day, so the stream is bit-identical at any parallelism.
+func WithTrace(tr *obs.Trace) RunnerOption {
+	return func(o *runnerOptions) error {
+		if tr == nil {
+			return fmt.Errorf("fleet: nil trace")
+		}
+		o.trace = tr
+		return nil
+	}
+}
+
 // NewRunner validates cfg, builds the fleet population deterministically
 // from cfg.Seed, and applies the options.
 func NewRunner(cfg Config, opts ...RunnerOption) (*Runner, error) {
@@ -102,7 +138,37 @@ func NewRunner(cfg Config, opts ...RunnerOption) (*Runner, error) {
 	if o.parallelism > 0 {
 		f.parallelism = o.parallelism
 	}
-	return &Runner{fleet: f, observers: o.observers}, nil
+	if o.metrics != nil {
+		f.SetMetrics(o.metrics)
+	}
+	if o.trace != nil {
+		f.SetTrace(o.trace)
+	}
+	r := &Runner{fleet: f, metrics: o.metrics}
+	if o.metrics != nil {
+		// The per-day counter observer runs first, before user observers,
+		// so user observers that scrape the registry see the day applied.
+		r.observers = append(r.observers, r.recordDay)
+	}
+	r.observers = append(r.observers, o.observers...)
+	return r, nil
+}
+
+// recordDay folds one day's telemetry into the metrics registry.
+func (r *Runner) recordDay(st DayStats) {
+	reg := r.metrics
+	reg.Counter("fleet_corruptions_total").Add(float64(st.Corruptions))
+	for o := Outcome(0); o < numOutcomes; o++ {
+		reg.Counter("fleet_corruptions_by_outcome_total", obs.L("outcome", o.String())).
+			Add(float64(st.ByOutcome[o]))
+	}
+	reg.Counter("fleet_reports_auto_total").Add(float64(st.AutoReports))
+	reg.Counter("fleet_reports_user_total").Add(float64(st.UserReports))
+	reg.Counter("fleet_screen_detections_total").Add(float64(st.ScreenDetections))
+	reg.Counter("fleet_quarantines_total").Add(float64(st.NewQuarantines))
+	reg.Counter("fleet_repairs_total").Add(float64(st.RepairsDone))
+	reg.Gauge("fleet_active_defects").Set(float64(st.ActiveDefects))
+	reg.Gauge("fleet_day").Set(float64(st.Day))
 }
 
 // Fleet exposes the underlying simulator state (defect ground truth,
@@ -114,7 +180,11 @@ func (r *Runner) Parallelism() int { return r.fleet.parallelism }
 
 // Step advances the simulation one day and notifies observers.
 func (r *Runner) Step() DayStats {
+	start := time.Now()
 	st := r.fleet.Step()
+	if r.metrics != nil {
+		r.metrics.Histogram("fleet_day_seconds").Observe(time.Since(start).Seconds())
+	}
 	for _, ob := range r.observers {
 		ob(st)
 	}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/detect"
 	"repro/internal/fault"
@@ -93,11 +94,15 @@ func (f *Fleet) Step() DayStats {
 	now := simtime.Time(day) * simtime.Day
 	st := DayStats{Day: day}
 	dayRNG := f.rng.Fork(uint64(day) + 0x9e37)
+	pc := f.newPhaseClock()
 
 	// Phase 1: shard plan (serial). All forks happen here, in defect-site
-	// order.
+	// order. Ground-truth trace events (defect population, activations) are
+	// part of planning: they depend only on the defect sites, never on
+	// worker output.
+	f.traceDefects(day, now)
 	size := f.screenCorpusSize(day)
-	online := &screen.Online{BudgetOps: f.cfg.ScreenOpsPerCoreDay, Workloads: f.allWork[:size]}
+	online := &screen.Online{BudgetOps: f.cfg.ScreenOpsPerCoreDay, Workloads: f.allWork[:size], Metrics: f.obs}
 	jobs := make([]siteJob, 0, len(f.defects))
 	for _, site := range f.defects {
 		m := f.machineByID(site.Machine)
@@ -115,6 +120,7 @@ func (f *Fleet) Step() DayStats {
 		j.screenRNG = dayRNG.ForkString("screen:" + core.ID)
 		jobs = append(jobs, j)
 	}
+	pc.mark("plan")
 
 	// Phase 2: per-site work (parallel). Each worker owns its site's core
 	// and its own result slot; nothing shared is written.
@@ -122,8 +128,11 @@ func (f *Fleet) Step() DayStats {
 	parallel.ForEach(f.parallelism, len(jobs), func(k int) {
 		results[k] = f.runSite(&jobs[k], online, now)
 	})
+	pc.mark("sites")
 
-	// Phase 3: single-writer merge, in site order.
+	// Phase 3: single-writer merge, in site order. First-signal trace
+	// events are emitted here, not in the workers, so the stream order is
+	// the serial site order at any parallelism.
 	var invs []invRequest
 	for i := range results {
 		r := &results[i]
@@ -137,8 +146,10 @@ func (f *Fleet) Step() DayStats {
 		st.ScreenDetections += r.screenFails
 		st.AutoReports += len(r.signals)
 		f.server.IngestBatch(r.signals)
+		f.traceFirstSignals(r.signals)
 		invs = append(invs, r.invs...)
 	}
+	pc.mark("merge")
 
 	// Phase 4: background software-bug noise over the whole fleet, spread
 	// evenly — the signals the concentration test must reject.
@@ -150,10 +161,12 @@ func (f *Fleet) Step() DayStats {
 			continue
 		}
 		coreIdx := dayRNG.Intn(f.cfg.CoresPerMachine)
-		f.server.Ingest(detect.Signal{
+		sig := detect.Signal{
 			Machine: m.ID, Core: coreIdx, Kind: detect.SigCrash,
 			Time: now, Detail: "software bug",
-		})
+		}
+		f.server.Ingest(sig)
+		f.traceFirstSignal(sig)
 		st.AutoReports++
 		// Some bug-noise also triggers human investigation — the false
 		// accusations in §6's triage ledger.
@@ -161,18 +174,22 @@ func (f *Fleet) Step() DayStats {
 			invs = append(invs, invRequest{machine: m.ID, core: coreIdx})
 		}
 	}
+	pc.mark("noise")
 
 	// Phase 5: human triage — confession screens run in parallel, the
 	// ledger is tallied serially.
 	f.processInvestigations(invs, now, dayRNG, &st)
+	pc.mark("triage")
 
 	// Phase 6: suspect processing — concentration-tested nominations flow
 	// into quarantine with confession testing against the real core.
 	f.processSuspects(now, dayRNG, &st)
+	pc.mark("suspects")
 
 	// Phase 7: repairs — isolated hardware returns to service with healthy
 	// replacement silicon after the RMA turnaround.
 	f.processRepairs(day, &st)
+	pc.mark("repairs")
 
 	return st
 }
@@ -281,9 +298,11 @@ type confessJob struct {
 func (f *Fleet) processInvestigations(invs []invRequest, now simtime.Time, dayRNG *xrand.RNG, st *DayStats) {
 	var jobs []confessJob
 	for _, iv := range invs {
-		f.server.Ingest(detect.Signal{
+		sig := detect.Signal{
 			Machine: iv.machine, Core: iv.core, Kind: detect.SigUserReport, Time: now,
-		})
+		}
+		f.server.Ingest(sig)
+		f.traceFirstSignal(sig)
 		st.UserReports++
 		if f.userSeen[iv.machine] {
 			continue
@@ -306,6 +325,7 @@ func (f *Fleet) processInvestigations(invs []invRequest, now simtime.Time, dayRN
 		jobs[k].conf = detect.Confess(jobs[k].fc, cfg, jobs[k].rng)
 	})
 	for i := range jobs {
+		f.traceConfession(jobs[i].machine, jobs[i].core, jobs[i].conf.Confirmed, "triage", now)
 		switch {
 		case jobs[i].conf.Confirmed:
 			f.Triage.Confirmed++
@@ -334,6 +354,9 @@ func (f *Fleet) confessionConfig() screen.Config {
 		cfg = screen.NewConfig(screen.WithPasses(60), screen.WithSweep(2, 1, 2),
 			screen.WithMaxOps(15_000_000))
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = f.obs
+	}
 	return cfg
 }
 
@@ -348,10 +371,12 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 	if len(suspects) == 0 {
 		return
 	}
+	f.traceNominations(suspects, now)
 	jobs := make([]confessJob, len(suspects))
 	var runnable []int
 	for i, s := range suspects {
 		ref := sched.CoreRef{Machine: s.Machine, Core: s.Core}
+		jobs[i].machine, jobs[i].core = s.Machine, s.Core
 		// Fork unconditionally, in suspect order, so the stream a suspect
 		// consumes does not depend on its neighbours' gate outcomes.
 		jobs[i].rng = dayRNG.ForkString("suspect:" + ref.String())
@@ -366,6 +391,12 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 		j := &jobs[runnable[k]]
 		j.conf = detect.Confess(j.fc, cfg, j.rng)
 	})
+	// Precomputed confessions enter the trace here, serially, in suspect
+	// order — not from the worker goroutines above.
+	for _, k := range runnable {
+		j := &jobs[k]
+		f.traceConfession(j.machine, j.core, j.conf.Confirmed, "suspect", now)
+	}
 	for i, s := range suspects {
 		ref := sched.CoreRef{Machine: s.Machine, Core: s.Core}
 		if f.manager.Isolated(ref) {
@@ -378,7 +409,9 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 				// but the manager asked anyway (e.g. state changed while
 				// handling an earlier suspect): run it now, on the stream
 				// reserved for this suspect.
-				return detect.Confess(f.coreFor(ref), cfg, j.rng)
+				conf := detect.Confess(f.coreFor(ref), cfg, j.rng)
+				f.traceConfession(j.machine, j.core, conf.Confirmed, "suspect", now)
+				return conf
 			}
 			return j.conf
 		})
@@ -386,6 +419,7 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 			continue
 		}
 		st.NewQuarantines++
+		f.traceQuarantine(s.Machine, s.Core, rec.Mode.String(), now)
 		f.quarantineDay[ref] = f.day - 1
 		m := f.machineByID(s.Machine)
 		if rec.Mode == quarantine.MachineDrain {
@@ -426,28 +460,51 @@ func (f *Fleet) processRepairs(day int, st *DayStats) {
 		m := f.machineByID(tk.machine)
 		if tk.core < 0 {
 			// Whole-machine drain: replace every defective core and
-			// undrain.
-			for idx := range m.Defective {
+			// undrain. Defective-core indices are visited in ascending
+			// order so the trace (and the manager ledger it mirrors) does
+			// not depend on map iteration.
+			for _, idx := range sortedDefectiveCores(m) {
 				f.retireDefect(tk.machine, idx)
-				f.manager.Release(sched.CoreRef{Machine: tk.machine, Core: idx})
+				ref := sched.CoreRef{Machine: tk.machine, Core: idx}
+				if f.manager.Isolated(ref) {
+					f.traceRelease(ref, day)
+				}
+				f.manager.Release(ref)
+				f.traceRepair(tk.machine, idx, day)
 			}
 			m.drained = false
 			if err := f.cluster.Undrain(tk.machine); err == nil {
 				f.Repairs++
 				st.RepairsDone++
+				f.traceRepair(tk.machine, -1, day)
 			}
 			continue
 		}
 		f.retireDefect(tk.machine, tk.core)
 		delete(m.quarantined, tk.core)
 		ref := sched.CoreRef{Machine: tk.machine, Core: tk.core}
+		if f.manager.Isolated(ref) {
+			f.traceRelease(ref, day)
+		}
 		f.manager.Release(ref)
 		if _, err := f.cluster.SetCoreState(ref, sched.CoreHealthy, nil); err == nil {
 			f.Repairs++
 			st.RepairsDone++
+			f.traceRepair(tk.machine, tk.core, day)
 		}
 	}
 	f.repairQueue = keep
+}
+
+// sortedDefectiveCores returns the machine's defective core indices in
+// ascending order.
+func sortedDefectiveCores(m *Machine) []int {
+	idxs := make([]int, 0, len(m.Defective))
+	for idx := range m.Defective {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs
 }
 
 // retireDefect marks the defect site at (machine, core) repaired and

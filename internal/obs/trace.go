@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+)
+
+// The CEE lifecycle events, in the order a defective core typically
+// traverses them: the defect exists (latent), activates, manifests its
+// first detectable signal, concentrates enough reports to be nominated,
+// confesses under deep screening, is quarantined, and is eventually
+// repaired (releasing its isolation record).
+//
+// Healthy cores can enter the stream mid-way — a falsely accused core's
+// stream starts at its first signal and may still reach quarantine.
+const (
+	// EventDefectPresent enumerates the ground-truth defect population at
+	// the start of a traced run; FirstActiveSec carries the onset time.
+	EventDefectPresent = "defect-present"
+	// EventDefectActivated marks the day a latent defect becomes able to
+	// fire (install age crossing onset).
+	EventDefectActivated = "defect-activated"
+	// EventFirstSignal is the first core-attributed signal the report
+	// service saw for this core; Kind carries the signal kind.
+	EventFirstSignal = "first-signal"
+	// EventSuspectNominated is the core's first concentration-test
+	// nomination; Reports and PValue carry the evidence.
+	EventSuspectNominated = "suspect-nominated"
+	// EventConfession is one deep screen against the core; Confirmed says
+	// whether it reproduced a failure, Detail whether it ran for human
+	// triage ("triage") or suspect processing ("suspect").
+	EventConfession = "confession"
+	// EventQuarantine is an isolation decision; Mode carries the
+	// quarantine mode.
+	EventQuarantine = "quarantine"
+	// EventRelease clears a core's isolation record (repair/replacement).
+	EventRelease = "release"
+	// EventRepair returns repaired silicon to service; Core is -1 for a
+	// whole-machine undrain.
+	EventRepair = "repair"
+)
+
+// TraceEvent is one CEE-lifecycle event. The (Machine, Core) pair keys
+// the per-core stream; events appear in emission order, which for the
+// fleet simulator is chronological and bit-identical at any parallelism.
+type TraceEvent struct {
+	Day     int     `json:"day"`
+	TimeSec float64 `json:"time_sec"`
+	Machine string  `json:"machine"`
+	Core    int     `json:"core"`
+	Event   string  `json:"event"`
+	// Kind is the signal kind for first-signal events.
+	Kind string `json:"kind,omitempty"`
+	// Mode is the isolation mode for quarantine events.
+	Mode string `json:"mode,omitempty"`
+	// Confirmed reports a confession's outcome.
+	Confirmed bool `json:"confirmed,omitempty"`
+	// Reports and PValue carry nomination evidence.
+	Reports int     `json:"reports,omitempty"`
+	PValue  float64 `json:"p_value,omitempty"`
+	// FirstActiveSec is the defect's ground-truth onset time (defect
+	// events only). It is the value detection latencies derive from.
+	FirstActiveSec float64 `json:"first_active_sec,omitempty"`
+	// Detail carries free-form context ("triage"/"suspect" on
+	// confessions).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is an append-only CEE lifecycle event stream. A nil *Trace is a
+// valid no-op sink. Emission is mutex-guarded; the fleet simulator only
+// emits from its serial phases, so the stream order is deterministic.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Emit appends one event. No-op on a nil trace.
+func (t *Trace) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of events recorded so far.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the stream in emission order.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteJSONL writes the stream as JSON Lines — one event per line, in
+// emission order. Float fields round-trip exactly (encoding/json emits
+// the shortest representation that parses back to the same float64), so
+// latencies derived from a re-read trace are bit-identical.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON Lines stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]TraceEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []TraceEvent
+	for {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}

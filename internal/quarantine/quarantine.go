@@ -14,6 +14,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/detect"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/screen"
 	"repro/internal/simtime"
@@ -90,6 +91,9 @@ type Record struct {
 type Manager struct {
 	Cluster *sched.Cluster
 	Policy  Policy
+	// Metrics, when set, counts every ledger transition (isolations by
+	// mode, declines by reason, releases). Nil records nothing.
+	Metrics *obs.Registry
 	// records, keyed by core, prevents double-isolating.
 	records map[sched.CoreRef]*Record
 	// ledger remembers isolation order, so Records is deterministic (map
@@ -123,6 +127,9 @@ func (m *Manager) Isolated(ref sched.CoreRef) bool {
 // hardware has been repaired or replaced, so a fresh defect on the same
 // slot can be quarantined again. It also clears any decline cool-down.
 func (m *Manager) Release(ref sched.CoreRef) {
+	if _, ok := m.records[ref]; ok {
+		m.Metrics.Counter("quarantine_released_total").Inc()
+	}
 	delete(m.records, ref)
 	delete(m.declinedAt, ref)
 	for i, r := range m.ledger {
@@ -178,6 +185,11 @@ func (m *Manager) ConfessionScreenConfig() screen.Config {
 	if m.Policy.Mode == SafeTasks {
 		cfg.StopOnDetect = false
 	}
+	// Confession screens report through the manager's registry unless the
+	// policy already routed them somewhere.
+	if cfg.Metrics == nil {
+		cfg.Metrics = m.Metrics
+	}
 	return cfg
 }
 
@@ -219,6 +231,7 @@ func (m *Manager) Handle(s detect.Suspect, now simtime.Time, confess func(screen
 	if s.Score() < m.Policy.MinScore {
 		m.Declined++
 		m.declinedAt[ref] = now
+		m.Metrics.Counter("quarantine_declined_total", obs.L("reason", "score")).Inc()
 		return nil, nil
 	}
 	rec := &Record{Ref: ref, Suspect: s, Mode: m.Policy.Mode, When: now}
@@ -229,6 +242,7 @@ func (m *Manager) Handle(s detect.Suspect, now simtime.Time, confess func(screen
 		if m.Policy.RequireConfession && !conf.Confirmed {
 			m.Declined++
 			m.declinedAt[ref] = now
+			m.Metrics.Counter("quarantine_declined_total", obs.L("reason", "confession")).Inc()
 			return nil, nil
 		}
 	}
@@ -283,5 +297,9 @@ func (m *Manager) Handle(s detect.Suspect, now simtime.Time, confess func(screen
 	}
 	m.records[ref] = rec
 	m.ledger = append(m.ledger, ref)
+	m.Metrics.Counter("quarantine_isolated_total", obs.L("mode", rec.Mode.String())).Inc()
+	if rec.Confessed {
+		m.Metrics.Counter("quarantine_confessions_total").Inc()
+	}
 	return rec, nil
 }

@@ -7,13 +7,23 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
+
+// maxReportBytes caps a POST /v1/report body. A Report is a few hundred
+// bytes; 64 KiB leaves generous room for Detail while preventing an
+// unbounded body from exhausting server memory.
+const maxReportBytes = 64 << 10
 
 // Report is the wire form of one suspect-core report.
 type Report struct {
@@ -76,33 +86,63 @@ type Server struct {
 	mu      sync.Mutex
 	tracker *detect.Tracker
 	total   int
+	reg     *obs.Registry
 	// OnSignal, if non-nil, observes every accepted signal (used by the
 	// fleet simulator to couple the service to its detection loop).
 	OnSignal func(detect.Signal)
 }
 
 // NewServer returns a server feeding a tracker shaped for machines with
-// coresPerMachine cores.
+// coresPerMachine cores. The server owns a metrics registry (exposed at
+// GET /v1/metrics and via Metrics) counting accepted signals by kind and
+// rejected requests by reason.
 func NewServer(coresPerMachine int) *Server {
-	return &Server{tracker: detect.NewTracker(coresPerMachine)}
+	return &Server{
+		tracker: detect.NewTracker(coresPerMachine),
+		reg:     obs.NewRegistry(),
+	}
+}
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// SetMetrics replaces the server's registry with a shared one — the fleet
+// simulator uses this to aggregate the whole stack's metrics in a single
+// registry. Must be called before the server starts accepting traffic.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	if reg != nil {
+		s.reg = reg
+	}
+}
+
+// accepted counts one accepted signal by kind.
+func (s *Server) accepted(kind detect.SignalKind) {
+	s.reg.Counter("ceereport_signals_accepted_total", obs.L("kind", kind.String())).Inc()
+}
+
+// rejected counts one rejected /v1/report request by reason.
+func (s *Server) rejected(reason string) {
+	s.reg.Counter("ceereport_reports_rejected_total", obs.L("reason", reason)).Inc()
 }
 
 // Handler returns the HTTP handler exposing the service API:
 //
-//	POST /v1/report   — submit a Report
+//	POST /v1/report   — submit a Report (body capped at 64 KiB)
 //	GET  /v1/suspects — list nominated suspects
 //	GET  /v1/stats    — service statistics
 //	GET  /v1/healthz  — liveness probe, {"status":"ok"}
+//	GET  /v1/metrics  — Prometheus text exposition of the service metrics
 //
 // Every error response carries the JSON envelope {"error":"..."} with the
 // matching HTTP status code (400 for malformed or incomplete reports, 405
-// for a wrong method).
+// for a wrong method, 413 for an oversized body).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/suspects", s.handleSuspects)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -123,16 +163,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		s.rejected("method")
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Bound the body before touching it: an unbounded (or lying
+	// Content-Length) request must not buffer arbitrary bytes in memory.
+	body := http.MaxBytesReader(w, r.Body, maxReportBytes)
+	dec := json.NewDecoder(body)
 	var rep Report
-	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+	if err := dec.Decode(&rep); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.rejected("too-large")
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"report exceeds %d bytes", maxReportBytes)
+			return
+		}
+		s.rejected("malformed")
 		writeError(w, http.StatusBadRequest, "bad report: %v", err)
 		return
 	}
+	// Reject trailing JSON values or garbage after the report object —
+	// silently ignoring it would mask client framing bugs.
+	if _, err := dec.Token(); err != io.EOF {
+		s.rejected("trailing")
+		writeError(w, http.StatusBadRequest, "trailing data after report object")
+		return
+	}
 	if rep.Machine == "" {
+		s.rejected("missing-machine")
 		writeError(w, http.StatusBadRequest, "machine required")
+		return
+	}
+	if rep.Core < -1 {
+		s.rejected("bad-core")
+		writeError(w, http.StatusBadRequest,
+			"core must be >= -1 (-1 = unattributed), got %d", rep.Core)
 		return
 	}
 	sig := detect.Signal{
@@ -154,6 +221,7 @@ func (s *Server) Ingest(sig detect.Signal) {
 	s.total++
 	cb := s.OnSignal
 	s.mu.Unlock()
+	s.accepted(sig.Kind)
 	if cb != nil {
 		cb(sig)
 	}
@@ -171,6 +239,9 @@ func (s *Server) IngestBatch(sigs []detect.Signal) {
 	s.total += len(sigs)
 	cb := s.OnSignal
 	s.mu.Unlock()
+	for _, sig := range sigs {
+		s.accepted(sig.Kind)
+	}
 	if cb != nil {
 		for _, sig := range sigs {
 			cb(sig)
@@ -222,20 +293,47 @@ func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// ReportingMachines returns the number of distinct machines that have
+// ever submitted a report — including machines whose reports never
+// concentrated into a nomination.
+func (s *Server) ReportingMachines() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracker.ReportingMachines()
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	// Machines counts every distinct reporting machine, not just those
+	// with a current nomination — a fleet of one-report machines is load
+	// the operator needs to see even though it nominates nothing.
 	s.mu.Lock()
 	total := s.total
+	machines := s.tracker.ReportingMachines()
 	s.mu.Unlock()
 	sus := s.Suspects()
-	machines := map[string]bool{}
-	for _, x := range sus {
-		machines[x.Machine] = true
+	writeJSON(w, StatsJSON{TotalReports: total, Machines: machines, Suspects: len(sus)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
 	}
-	writeJSON(w, StatsJSON{TotalReports: total, Machines: len(machines), Suspects: len(sus)})
+	// Refresh the scrape-time gauges before rendering.
+	s.mu.Lock()
+	total := s.total
+	machines := s.tracker.ReportingMachines()
+	s.mu.Unlock()
+	suspects := len(s.Suspects())
+	s.reg.Gauge("ceereport_reports_total").Set(float64(total))
+	s.reg.Gauge("ceereport_reporting_machines").Set(float64(machines))
+	s.reg.Gauge("ceereport_suspects").Set(float64(suspects))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -245,19 +343,76 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 }
 
-// Client talks to a report server over HTTP.
+// Client default retry/timeout policy.
+const (
+	defaultClientTimeout = 5 * time.Second
+	defaultMaxAttempts   = 3
+	defaultRetryBackoff  = 50 * time.Millisecond
+)
+
+// defaultHTTPClient bounds every call a zero-value Client makes. The old
+// fallback to http.DefaultClient had no timeout, so a hung ceereportd
+// blocked reporters forever — exactly the coupling a suspect-report path
+// must not have to the thing it is reporting about.
+var defaultHTTPClient = &http.Client{Timeout: defaultClientTimeout}
+
+// Client talks to a report server over HTTP. Transport-level failures
+// (connection refused, resets, timeouts) are retried with jittered
+// exponential backoff up to MaxAttempts; HTTP status errors are not
+// retried — the request was delivered and answered.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a shared client with a 5s timeout.
 	HTTPClient *http.Client
+	// MaxAttempts bounds total tries per call (0 means 3; 1 disables
+	// retry).
+	MaxAttempts int
+	// RetryBackoff is the base delay before the first retry, doubled per
+	// further retry with up to 50% random jitter (0 means 50ms).
+	RetryBackoff time.Duration
+	// sleep is a test seam; nil means time.Sleep.
+	sleep func(time.Duration)
 }
 
 func (c *Client) client() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+// do runs send with the client's retry policy. send must build a fresh
+// request per call (a consumed body cannot be replayed).
+func (c *Client) do(send func() (*http.Response, error)) (*http.Response, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = defaultMaxAttempts
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := backoff << (attempt - 1)
+			// Full jitter on the top half de-synchronizes a fleet of
+			// reporters hammering a recovering server.
+			d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+			sleep(d)
+		}
+		resp, err := send()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("report: %d attempt(s) failed: %w", attempts, lastErr)
 }
 
 // Report submits one suspect-core report.
@@ -266,7 +421,9 @@ func (c *Client) Report(rep Report) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.client().Post(c.BaseURL+"/v1/report", "application/json", bytes.NewReader(body))
+	resp, err := c.do(func() (*http.Response, error) {
+		return c.client().Post(c.BaseURL+"/v1/report", "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		return err
 	}
@@ -279,7 +436,9 @@ func (c *Client) Report(rep Report) error {
 
 // Suspects fetches the current suspect list.
 func (c *Client) Suspects() ([]SuspectJSON, error) {
-	resp, err := c.client().Get(c.BaseURL + "/v1/suspects")
+	resp, err := c.do(func() (*http.Response, error) {
+		return c.client().Get(c.BaseURL + "/v1/suspects")
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +456,9 @@ func (c *Client) Suspects() ([]SuspectJSON, error) {
 // Stats fetches service statistics.
 func (c *Client) Stats() (StatsJSON, error) {
 	var out StatsJSON
-	resp, err := c.client().Get(c.BaseURL + "/v1/stats")
+	resp, err := c.do(func() (*http.Response, error) {
+		return c.client().Get(c.BaseURL + "/v1/stats")
+	})
 	if err != nil {
 		return out, err
 	}
@@ -307,4 +468,20 @@ func (c *Client) Stats() (StatsJSON, error) {
 	}
 	err = json.NewDecoder(resp.Body).Decode(&out)
 	return out, err
+}
+
+// Metrics fetches the server's Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.do(func() (*http.Response, error) {
+		return c.client().Get(c.BaseURL + "/v1/metrics")
+	})
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics: server returned %s", resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }

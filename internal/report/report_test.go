@@ -2,11 +2,14 @@ package report
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/detect"
 	"repro/internal/simtime"
@@ -57,8 +60,29 @@ func TestStats(t *testing.T) {
 	if st.TotalReports != 5 {
 		t.Fatalf("total = %d", st.TotalReports)
 	}
-	if st.Suspects != 1 || st.Machines != 1 {
+	// mB never produced a nomination, but it reported — it must count.
+	if st.Suspects != 1 || st.Machines != 2 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStatsCountsNonNominatedMachines(t *testing.T) {
+	srv, c := newTestService(t)
+	// One report each from ten machines: zero suspects, ten machines.
+	for i := 0; i < 10; i++ {
+		if err := c.Report(Report{Machine: fmt.Sprintf("m%02d", i), Core: 0, Kind: "crash"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Suspects != 0 || st.Machines != 10 || st.TotalReports != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if srv.ReportingMachines() != 10 {
+		t.Fatalf("ReportingMachines = %d", srv.ReportingMachines())
 	}
 }
 
@@ -281,7 +305,8 @@ func TestConcurrentIngest(t *testing.T) {
 }
 
 func TestClientErrorOnUnreachableServer(t *testing.T) {
-	c := &Client{BaseURL: "http://127.0.0.1:1"} // nothing listens here
+	// nothing listens here; MaxAttempts 1 keeps the failure immediate
+	c := &Client{BaseURL: "http://127.0.0.1:1", MaxAttempts: 1}
 	if err := c.Report(Report{Machine: "m"}); err == nil {
 		t.Fatal("expected connection error")
 	}
@@ -290,6 +315,244 @@ func TestClientErrorOnUnreachableServer(t *testing.T) {
 	}
 	if _, err := c.Stats(); err == nil {
 		t.Fatal("expected connection error")
+	}
+}
+
+// postReport POSTs raw bytes to /v1/report and returns the status code
+// and decoded error envelope (empty for 2xx).
+func postReport(t *testing.T, url, body string) (int, ErrorJSON) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/report", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e ErrorJSON
+	if resp.StatusCode/100 != 2 {
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("error response Content-Type = %q", ct)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("error body is not the envelope: %v", err)
+		}
+		if e.Error == "" {
+			t.Fatal("empty error message")
+		}
+	}
+	return resp.StatusCode, e
+}
+
+func TestRejectsOversizedBody(t *testing.T) {
+	srv := NewServer(8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	big := `{"machine":"m1","core":1,"kind":"crash","detail":"` +
+		strings.Repeat("x", 80<<10) + `"}`
+	status, _ := postReport(t, ts.URL, big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body -> %d, want 413", status)
+	}
+	if srv.TotalReports() != 0 {
+		t.Fatalf("oversized report was counted: %d", srv.TotalReports())
+	}
+	// A Detail near (but under) the cap is still fine.
+	ok := `{"machine":"m1","core":1,"kind":"crash","detail":"` +
+		strings.Repeat("x", 32<<10) + `"}`
+	if status, _ := postReport(t, ts.URL, ok); status != http.StatusAccepted {
+		t.Fatalf("large-but-legal body -> %d, want 202", status)
+	}
+}
+
+func TestRejectsTrailingGarbage(t *testing.T) {
+	srv := NewServer(8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"machine":"m1","core":1}{"machine":"m2","core":2}`, // second JSON value
+		`{"machine":"m1","core":1} trailing`,                 // raw garbage
+		`{"machine":"m1","core":1}]`,                         // stray token
+	} {
+		status, _ := postReport(t, ts.URL, body)
+		if status != http.StatusBadRequest {
+			t.Fatalf("trailing data %q -> %d, want 400", body, status)
+		}
+	}
+	// Trailing whitespace/newline is legal framing, not garbage.
+	if status, _ := postReport(t, ts.URL, `{"machine":"m1","core":1}`+"\n  "); status != http.StatusAccepted {
+		t.Fatalf("trailing whitespace -> %d, want 202", status)
+	}
+	if srv.TotalReports() != 1 {
+		t.Fatalf("reports counted = %d, want 1", srv.TotalReports())
+	}
+}
+
+func TestRejectsInvalidCore(t *testing.T) {
+	srv := NewServer(8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, e := postReport(t, ts.URL, `{"machine":"m1","core":-2,"kind":"crash"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("core=-2 -> %d, want 400", status)
+	}
+	if !strings.Contains(e.Error, "core") {
+		t.Fatalf("error %q does not mention core", e.Error)
+	}
+	// -1 (unattributed) and 0 are both legal.
+	if status, _ := postReport(t, ts.URL, `{"machine":"m1","core":-1,"kind":"mce"}`); status != http.StatusAccepted {
+		t.Fatalf("core=-1 -> %d, want 202", status)
+	}
+	if status, _ := postReport(t, ts.URL, `{"machine":"m1","core":0,"kind":"mce"}`); status != http.StatusAccepted {
+		t.Fatalf("core=0 -> %d, want 202", status)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := NewServer(8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+
+	if err := c.Report(Report{Machine: "m1", Core: 1, Kind: "crash"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(Report{Machine: "m1", Core: 1, Kind: "mce"}); err != nil {
+		t.Fatal(err)
+	}
+	postReport(t, ts.URL, `{"machine":"m1","core":-7}`) // rejected: bad-core
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics -> %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		`ceereport_signals_accepted_total{kind="crash"} 1`,
+		`ceereport_signals_accepted_total{kind="mce"} 1`,
+		`ceereport_reports_rejected_total{reason="bad-core"} 1`,
+		`ceereport_reports_total 2`,
+		`ceereport_reporting_machines 1`,
+		"# TYPE ceereport_signals_accepted_total counter",
+	} {
+		if !strings.Contains(body, w) {
+			t.Fatalf("metrics output missing %q:\n%s", w, body)
+		}
+	}
+}
+
+// flakyTransport fails the first n round trips with a connection-style
+// error, then delegates to the default transport.
+type flakyTransport struct {
+	mu       sync.Mutex
+	failures int
+	calls    int
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.calls++
+	fail := f.calls <= f.failures
+	f.mu.Unlock()
+	if fail {
+		return nil, errors.New("connection reset by peer")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func TestClientRetriesThenSucceeds(t *testing.T) {
+	srv := NewServer(8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ft := &flakyTransport{failures: 2}
+	var slept []time.Duration
+	c := &Client{
+		BaseURL:    ts.URL,
+		HTTPClient: &http.Client{Transport: ft},
+		sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := c.Report(Report{Machine: "m1", Core: 0, Kind: "crash"}); err != nil {
+		t.Fatalf("report after retries: %v", err)
+	}
+	if srv.TotalReports() != 1 {
+		t.Fatalf("server saw %d reports", srv.TotalReports())
+	}
+	if ft.calls != 3 {
+		t.Fatalf("transport called %d times, want 3", ft.calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (between 3 attempts)", len(slept))
+	}
+	// Jittered exponential backoff: each delay within (base/2, base],
+	// doubling per retry.
+	base := defaultRetryBackoff
+	for i, d := range slept {
+		lo, hi := base/2, base
+		if d < lo || d > hi {
+			t.Fatalf("backoff %d = %v outside (%v, %v]", i, d, lo, hi)
+		}
+		base *= 2
+	}
+}
+
+func TestClientRetryExhaustion(t *testing.T) {
+	ft := &flakyTransport{failures: 1 << 30}
+	c := &Client{
+		BaseURL:    "http://example.invalid",
+		HTTPClient: &http.Client{Transport: ft},
+		sleep:      func(time.Duration) {},
+	}
+	err := c.Report(Report{Machine: "m"})
+	if err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if ft.calls != defaultMaxAttempts {
+		t.Fatalf("transport called %d times, want %d", ft.calls, defaultMaxAttempts)
+	}
+	if !strings.Contains(err.Error(), "attempt") {
+		t.Fatalf("error %q does not mention attempts", err)
+	}
+}
+
+func TestClientTimeoutAgainstStalledHandler(t *testing.T) {
+	release := make(chan struct{})
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold the request open until the test ends
+	}))
+	defer stalled.Close()
+	defer close(release)
+
+	c := &Client{
+		BaseURL:     stalled.URL,
+		HTTPClient:  &http.Client{Timeout: 50 * time.Millisecond},
+		MaxAttempts: 1,
+	}
+	start := time.Now()
+	err := c.Report(Report{Machine: "m", Core: 0, Kind: "crash"})
+	if err == nil {
+		t.Fatal("stalled server did not time the client out")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v; client is not bounding stalled servers", elapsed)
+	}
+}
+
+func TestDefaultClientHasTimeout(t *testing.T) {
+	c := &Client{}
+	if got := c.client().Timeout; got != defaultClientTimeout {
+		t.Fatalf("default client timeout = %v, want %v", got, defaultClientTimeout)
 	}
 }
 

@@ -3,6 +3,7 @@ package screen
 import (
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // ConfigOption configures a screening Config under construction — the
@@ -56,4 +57,10 @@ func WithMaxOps(n uint64) ConfigOption {
 // budget and collect every failure — what forensics and SafeTasks need).
 func WithStopOnDetect(stop bool) ConfigOption {
 	return func(c *Config) { c.StopOnDetect = stop }
+}
+
+// WithMetrics routes the session's screening telemetry (sessions, passes,
+// detections, ops) into reg. Nil records nothing.
+func WithMetrics(reg *obs.Registry) ConfigOption {
+	return func(c *Config) { c.Metrics = reg }
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/xrand"
 )
@@ -31,6 +32,25 @@ type Config struct {
 	StopOnDetect bool
 	// MaxOps bounds the session's engine-operation budget; 0 = unlimited.
 	MaxOps uint64
+	// Metrics, when set, receives screening telemetry (sessions, passes,
+	// detections, ops). Recording is lock-free, so sessions sharded
+	// across workers may share one registry. Nil records nothing.
+	Metrics *obs.Registry
+}
+
+// record folds one finished session report into the configured registry.
+func (cfg *Config) record(rep *Report) {
+	r := cfg.Metrics
+	if r == nil {
+		return
+	}
+	r.Counter("screen_sessions_total").Inc()
+	r.Counter("screen_passes_total").Add(float64(rep.PassesRun))
+	r.Counter("screen_ops_total").Add(float64(rep.OpsUsed))
+	if rep.Detected {
+		r.Counter("screen_sessions_detected_total").Inc()
+	}
+	r.Counter("screen_detections_total").Add(float64(len(rep.Detections)))
 }
 
 // Quick returns the cheap screening config used for online and routine
@@ -129,6 +149,7 @@ func Screen(core *fault.Core, cfg Config, rng *xrand.RNG) Report {
 	e := engine.New(core)
 	rep := Report{CoreID: core.ID, UnitsCovered: map[fault.Unit]bool{}}
 	startOps := core.TotalOps()
+	defer func() { cfg.record(&rep) }()
 
 	// Pass-major order: every operating point is visited once per pass,
 	// so stress corners are reached early even under a tight op budget.
@@ -198,6 +219,9 @@ type Online struct {
 	BudgetOps uint64
 	// Workloads is the corpus to sample from; nil means corpus.All().
 	Workloads []corpus.Workload
+	// Metrics, when set, receives per-tick telemetry (lock-free; safe to
+	// share across worker goroutines). Nil records nothing.
+	Metrics *obs.Registry
 }
 
 // Tick runs one online screening slice against core and returns the
@@ -221,5 +245,11 @@ func (o *Online) Tick(core *fault.Core, rng *xrand.RNG) ([]corpus.Result, uint64
 			found = append(found, res)
 		}
 	}
-	return found, core.TotalOps() - start
+	ops := core.TotalOps() - start
+	if o.Metrics != nil {
+		o.Metrics.Counter("screen_online_ticks_total").Inc()
+		o.Metrics.Counter("screen_online_ops_total").Add(float64(ops))
+		o.Metrics.Counter("screen_online_detections_total").Add(float64(len(found)))
+	}
+	return found, ops
 }
