@@ -43,6 +43,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a CEE lifecycle trace (JSONL) to this file (traced-run mode)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file, '-' for stdout (traced-run mode)")
 	days := flag.Int("days", 45, "days to simulate in traced-run mode")
+	kvStores := flag.Int("kvstores", 0, "tolerant kvdb stores to serve during traced-run mode (0 disables)")
 	flag.Parse()
 
 	fleet.SetDefaultParallelism(*par)
@@ -59,11 +60,15 @@ func main() {
 	}
 
 	if *tracePath != "" || *metricsPath != "" {
-		if err := runTraced(s, *par, *days, *tracePath, *metricsPath); err != nil {
+		if err := runTraced(s, *par, *days, *kvStores, *tracePath, *metricsPath); err != nil {
 			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *kvStores > 0 {
+		fmt.Fprintln(os.Stderr, "fleetsim: -kvstores needs traced-run mode (use -trace and/or -metrics)")
+		os.Exit(2)
 	}
 
 	ids := []string{strings.ToUpper(*exp)}
@@ -85,11 +90,14 @@ func main() {
 
 // runTraced performs one instrumented fleet run at the given scale and
 // dumps the requested observability artifacts.
-func runTraced(s experiments.Scale, par, days int, tracePath, metricsPath string) error {
+func runTraced(s experiments.Scale, par, days, kvStores int, tracePath, metricsPath string) error {
 	if days <= 0 {
 		return fmt.Errorf("days must be positive, got %d", days)
 	}
 	cfg := experiments.FleetConfig(s)
+	if kvStores > 0 {
+		cfg.KVDB.Stores = kvStores
+	}
 	opts := []fleet.RunnerOption{fleet.WithParallelism(par)}
 	var tr *obs.Trace
 	if tracePath != "" {
@@ -105,7 +113,19 @@ func runTraced(s experiments.Scale, par, days int, tracePath, metricsPath string
 	if err != nil {
 		return err
 	}
-	r.Run(days)
+	series := r.Run(days)
+	if kvStores > 0 {
+		var reads, retries, repairs, degraded, errs int
+		for _, d := range series {
+			reads += d.KVReads
+			retries += d.KVRetries
+			repairs += d.KVRepairs
+			degraded += d.KVDegraded
+			errs += d.KVErrors
+		}
+		fmt.Printf("kvdb: %d stores served %d reads: %d retries, %d repairs, %d degraded, %d client errors\n",
+			kvStores, reads, retries, repairs, degraded, errs)
+	}
 
 	if tr != nil {
 		f, err := os.Create(tracePath)

@@ -27,6 +27,7 @@ import (
 	"math/bits"
 
 	"repro/internal/corpus"
+	"repro/internal/detect"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/quarantine"
@@ -100,6 +101,10 @@ type Config struct {
 	// several vendors, and of various ages"). Nil means one uniform SKU
 	// with no pre-aging.
 	SKUs []SKU
+	// KVDB enables the tolerant key-value-store workload phase (see
+	// kvdb.go); the zero value disables it and leaves every random
+	// stream — and therefore all existing experiment output — untouched.
+	KVDB KVDBConfig
 }
 
 // SKU is one CPU product population in the fleet.
@@ -255,6 +260,11 @@ type DayStats struct {
 	// ActiveDefects is the number of defective cores past onset and not
 	// yet quarantined.
 	ActiveDefects int
+	// KV* count the tolerant key-value workload's day (zero unless
+	// Config.KVDB enables the phase): reads served, different-replica
+	// retries, read-repair heals, degraded (no-majority) serves, and
+	// client-visible errors.
+	KVReads, KVRetries, KVRepairs, KVDegraded, KVErrors int
 }
 
 // TriageStats tracks the human-triage ledger for experiment E5. The paper
@@ -314,6 +324,14 @@ type Fleet struct {
 	// silicon starts a fresh stream.
 	sigSeen   map[sched.CoreRef]bool
 	nominated map[sched.CoreRef]bool
+	// kvdb workload state (see kvdb.go); empty unless Config.KVDB enables
+	// the phase. kvSignals buffers the day's detection signals for batch
+	// merge; kvAvoid caches the day's high-score suspect cores; kvNow
+	// timestamps outgoing signals.
+	kvStores  []*kvStore
+	kvSignals []detect.Signal
+	kvAvoid   map[sched.CoreRef]bool
+	kvNow     simtime.Time
 }
 
 // New builds the fleet population deterministically from cfg.
@@ -398,6 +416,11 @@ func New(cfg Config) *Fleet {
 		}
 		f.machines = append(f.machines, m)
 	}
+	// The kvdb workload builds last so its streams fork after the
+	// population's; disabled (the default), it forks nothing.
+	if cfg.KVDB.Stores > 0 {
+		f.buildKVStores()
+	}
 	return f
 }
 
@@ -413,6 +436,9 @@ func (f *Fleet) SetMetrics(reg *obs.Registry) {
 	f.obs = reg
 	f.server.SetMetrics(reg)
 	f.manager.Metrics = reg
+	for _, ks := range f.kvStores {
+		ks.tdb.SetMetrics(reg)
+	}
 }
 
 // SetTrace attaches a CEE-lifecycle trace. Call before the first Step:

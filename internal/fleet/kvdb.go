@@ -1,0 +1,249 @@
+package fleet
+
+// The kvdb day phase: a handful of replicated key-value stores served
+// through kvdb.TolerantDB, with replicas deliberately placed on the
+// fleet's defective cores. This is the application-level detection loop of
+// §6 running *inside* the simulation: checksum failures and divergence
+// during serving become suspect-report signals, the tracker concentrates
+// them, quarantine isolates the core, and the store's health-aware replica
+// selection reroutes subsequent reads — client-visible errors drop to zero
+// while the defect is still physically present.
+//
+// The phase is disabled by default (Config.KVDB.Stores == 0) and consumes
+// no randomness when disabled, so existing experiment outputs are
+// bit-identical. When enabled it runs serially (phase 3b), after the site
+// merge and before noise, so its signals reach the tracker the same day
+// and every stream it forks is ordered deterministically.
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/kvdb"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/xrand"
+)
+
+// KVDBConfig parameterizes the optional kvdb-workload day phase.
+type KVDBConfig struct {
+	// Stores is the number of simulated stores; 0 disables the phase.
+	// Store k's first replica is served by defect site k (when one
+	// exists), so the workload exercises real mercurial cores.
+	Stores int
+	// Replicas per store (default 3).
+	Replicas int
+	// Rows per store (default 16).
+	Rows int
+	// ReadsPerDay and WritesPerDay shape the daily workload per store
+	// (defaults 64 and 4).
+	ReadsPerDay, WritesPerDay int
+	// ValueBytes is the row payload size (default 64).
+	ValueBytes int
+	// MaxRetries bounds per-read different-replica retries (default 2).
+	MaxRetries int
+	// AvoidScore is the tracker suspect score at which a replica's core
+	// is deprioritized before any quarantine decision (default 6).
+	AvoidScore float64
+}
+
+func (c KVDBConfig) withDefaults() KVDBConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Rows <= 0 {
+		c.Rows = 16
+	}
+	if c.ReadsPerDay <= 0 {
+		c.ReadsPerDay = 64
+	}
+	if c.WritesPerDay <= 0 {
+		c.WritesPerDay = 4
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 64
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.AvoidScore <= 0 {
+		c.AvoidScore = 6
+	}
+	return c
+}
+
+// kvSlot is one replica's binding to a fleet core.
+type kvSlot struct {
+	replica *kvdb.Replica
+	// site is the defect site serving this replica, nil for replicas on
+	// healthy cores.
+	site *DefectSite
+	// rebound is set once repaired silicon replaced the serving core.
+	rebound bool
+}
+
+// kvStore is one simulated store and its workload state.
+type kvStore struct {
+	id    string
+	tdb   *kvdb.TolerantDB
+	slots []kvSlot
+	keys  []string
+	// last is the previous day's cumulative stats, for daily deltas.
+	last kvdb.TolerantStats
+}
+
+// buildKVStores constructs the stores during New. Only called when the
+// phase is enabled, so the master RNG is untouched otherwise.
+func (f *Fleet) buildKVStores() {
+	kcfg := f.cfg.KVDB.withDefaults()
+	krng := f.rng.ForkString("kvdb")
+	for s := 0; s < kcfg.Stores; s++ {
+		ks := &kvStore{id: fmt.Sprintf("kv%03d", s)}
+		var replicas []*kvdb.Replica
+		for r := 0; r < kcfg.Replicas; r++ {
+			name := fmt.Sprintf("%s-r%d", ks.id, r)
+			slot := kvSlot{}
+			if r == 0 && s < len(f.defects) {
+				// The interesting replica: served by a real mercurial core.
+				site := f.defects[s]
+				slot.site = site
+				slot.replica = kvdb.NewReplica(name, engine.New(site.Site)).
+					Locate(site.Machine, site.Core)
+			} else {
+				machine, core := f.kvHealthySlot(s, r)
+				hc := fault.NewCore(name, krng.ForkString("healthy:"+name))
+				slot.replica = kvdb.NewReplica(name, engine.New(hc)).
+					Locate(machine, core)
+			}
+			ks.slots = append(ks.slots, slot)
+			replicas = append(replicas, slot.replica)
+		}
+		db, err := kvdb.New(replicas...)
+		if err != nil {
+			panic(err)
+		}
+		ks.tdb = kvdb.NewTolerant(db, kvdb.TolerantConfig{
+			MaxRetries: kcfg.MaxRetries,
+			// Signals are buffered and batch-merged by the serial phase.
+			Sink: func(sig detect.Signal) error {
+				f.kvSignals = append(f.kvSignals, sig)
+				return nil
+			},
+			Health:  f.kvHealth,
+			Metrics: f.obs,
+			Now:     func() simtime.Time { return f.kvNow },
+		})
+		// Seed the rows. Defective replicas may store corrupt bytes right
+		// away — exactly the latent state tolerant reads must survive.
+		seed := krng.ForkString("rows:" + ks.id)
+		for i := 0; i < kcfg.Rows; i++ {
+			key := fmt.Sprintf("row%04d", i)
+			val := make([]byte, kcfg.ValueBytes)
+			seed.Bytes(val)
+			ks.tdb.Put(key, val)
+			ks.keys = append(ks.keys, key)
+		}
+		f.kvStores = append(f.kvStores, ks)
+	}
+}
+
+// kvHealthySlot deterministically picks a (machine, core) home for a
+// healthy replica, skipping machines that carry any defective silicon so
+// attribution can never finger a genuinely defective core by accident.
+func (f *Fleet) kvHealthySlot(store, replica int) (string, int) {
+	idx := (store*31 + replica*7) % len(f.machines)
+	for tries := 0; tries < len(f.machines); tries++ {
+		m := f.machines[(idx+tries)%len(f.machines)]
+		if len(m.Defective) == 0 {
+			return m.ID, replica % f.cfg.CoresPerMachine
+		}
+	}
+	// Every machine defective (tiny test fleets): fall back to the pick.
+	return f.machines[idx].ID, replica % f.cfg.CoresPerMachine
+}
+
+// kvHealth is the store's HealthFunc: a replica is deprioritized when its
+// core is quarantined (or its machine drained), or when the tracker's
+// current nominations score it above the avoid threshold (cached per day
+// in kvAvoid). Only ever called from the serial kvdb phase.
+func (f *Fleet) kvHealth(machine string, core int) bool {
+	if machine == "" || core < 0 || machine[0] != 'm' {
+		return false
+	}
+	m := f.machineByID(machine)
+	if m == nil {
+		return false
+	}
+	if m.drained || m.quarantined[core] {
+		return true
+	}
+	ref := sched.CoreRef{Machine: machine, Core: core}
+	if f.manager.Isolated(ref) {
+		return true
+	}
+	return f.kvAvoid[ref]
+}
+
+// runKVDB is phase 3b: the day's store workload. Serial — every fork is
+// ordered, every signal lands in the batch buffer in store order.
+func (f *Fleet) runKVDB(dayRNG *xrand.RNG, now simtime.Time, st *DayStats) {
+	kcfg := f.cfg.KVDB.withDefaults()
+	f.kvNow = now
+
+	// Refresh the pre-quarantine avoidance cache from today's nominations.
+	f.kvAvoid = map[sched.CoreRef]bool{}
+	for _, s := range f.server.Suspects() {
+		if s.Core >= 0 && s.Score() >= kcfg.AvoidScore {
+			f.kvAvoid[sched.CoreRef{Machine: s.Machine, Core: s.Core}] = true
+		}
+	}
+
+	for _, ks := range f.kvStores {
+		rng := dayRNG.ForkString("kvdb:" + ks.id)
+		f.kvRebindRepaired(ks)
+		for w := 0; w < kcfg.WritesPerDay; w++ {
+			key := ks.keys[rng.Intn(len(ks.keys))]
+			val := make([]byte, kcfg.ValueBytes)
+			rng.Bytes(val)
+			ks.tdb.Put(key, val)
+		}
+		for r := 0; r < kcfg.ReadsPerDay; r++ {
+			key := ks.keys[rng.Intn(len(ks.keys))]
+			_, _ = ks.tdb.Get(key)
+		}
+		cur := ks.tdb.Stats()
+		st.KVReads += cur.Reads - ks.last.Reads
+		st.KVRetries += cur.Retries - ks.last.Retries
+		st.KVRepairs += cur.Repairs - ks.last.Repairs
+		st.KVDegraded += cur.DegradedServes - ks.last.DegradedServes
+		st.KVErrors += cur.Errors - ks.last.Errors
+		ks.last = cur
+	}
+
+	// Merge the buffered detection signals exactly like site signals:
+	// batch-ingested in deterministic order, traced, counted.
+	if len(f.kvSignals) > 0 {
+		st.AutoReports += len(f.kvSignals)
+		f.server.IngestBatch(f.kvSignals)
+		f.traceFirstSignals(f.kvSignals)
+		f.kvSignals = f.kvSignals[:0]
+	}
+}
+
+// kvRebindRepaired moves replicas off repaired defect sites onto fresh
+// healthy silicon (the RMA loop replaced the core; the replica's stored
+// rows — including any corrupt ones — survive and heal via read repair).
+func (f *Fleet) kvRebindRepaired(ks *kvStore) {
+	for i := range ks.slots {
+		slot := &ks.slots[i]
+		if slot.site == nil || slot.rebound || !slot.site.Repaired {
+			continue
+		}
+		name := slot.replica.ID + "-repl"
+		hc := fault.NewCore(name, f.rng.ForkString("kv-repair:"+name))
+		slot.replica.Engine = engine.New(hc)
+		slot.rebound = true
+	}
+}

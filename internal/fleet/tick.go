@@ -151,6 +151,15 @@ func (f *Fleet) Step() DayStats {
 	}
 	pc.mark("merge")
 
+	// Phase 3b: the tolerant kvdb workload (serial, optional). Runs after
+	// the merge so its health view reflects yesterday's quarantines, and
+	// before suspect processing so today's serving signals can nominate
+	// today. Consumes randomness only when enabled.
+	if len(f.kvStores) > 0 {
+		f.runKVDB(dayRNG, now, &st)
+		pc.mark("kvdb")
+	}
+
 	// Phase 4: background software-bug noise over the whole fleet, spread
 	// evenly — the signals the concentration test must reject.
 	noiseLambda := f.cfg.SoftwareBugSignalsPerMachineDay * float64(len(f.machines))

@@ -43,7 +43,12 @@ type record struct {
 type Replica struct {
 	ID     string
 	Engine *engine.Engine
-	rows   map[string]*record
+	// Machine and CoreIndex locate the serving core within a fleet, for
+	// suspect-report attribution and health-aware replica selection.
+	// CoreIndex is -1 when the replica is not bound to a fleet slot.
+	Machine   string
+	CoreIndex int
+	rows      map[string]*record
 	// index maps a value fingerprint to the set of keys carrying it —
 	// the secondary index whose maintenance runs on this replica's core.
 	index map[uint64]map[string]bool
@@ -52,10 +57,18 @@ type Replica struct {
 // NewReplica returns an empty replica served by e.
 func NewReplica(id string, e *engine.Engine) *Replica {
 	return &Replica{
-		ID: id, Engine: e,
+		ID: id, Engine: e, CoreIndex: -1,
 		rows:  map[string]*record{},
 		index: map[uint64]map[string]bool{},
 	}
+}
+
+// Locate binds the replica to the (machine, core) slot its serving core
+// occupies and returns the replica for chaining.
+func (r *Replica) Locate(machine string, core int) *Replica {
+	r.Machine = machine
+	r.CoreIndex = core
+	return r
 }
 
 // fingerprint computes the index fingerprint of a value on this replica's
@@ -188,7 +201,11 @@ func (db *DB) Get(key string) ([]byte, error) {
 func (db *DB) GetCompared(key string) ([]byte, error) {
 	db.Stats.Reads++
 	if len(db.replicas) < 2 {
-		return db.pick().get(key)
+		v, err := db.pick().get(key)
+		if errors.Is(err, ErrCorrupt) {
+			db.Stats.CorruptReads++
+		}
+		return v, err
 	}
 	a := db.pick()
 	b := db.pick()
@@ -216,53 +233,95 @@ func (db *DB) GetCompared(key string) ([]byte, error) {
 	}
 }
 
-// ReadRepair reads the row from every replica, majority-votes the value
-// (§6's dual computations, extended to healing), rewrites out-voted or
-// corrupt replicas from the winner, and returns the repaired value. It
-// returns ErrDivergent when no majority exists.
-func (db *DB) ReadRepair(key string) ([]byte, error) {
-	db.Stats.Reads++
-	type vote struct {
-		val []byte
-		n   int
-	}
-	var votes []vote
-	found := false
+// readVote is one distinct checksum-valid value observed while scanning a
+// row, with the replicas that served it.
+type readVote struct {
+	val      []byte
+	replicas []*Replica
+}
+
+// rowScan classifies a full-replica read of one row: the distinct valid
+// values (in first-seen replica order), the replicas whose reads failed
+// their checksum, and whether any replica stores the row at all. The
+// tolerant serving layer uses the classification to attribute blame.
+type rowScan struct {
+	votes   []readVote
+	corrupt []*Replica
+	sawRow  bool
+	good    int // checksum-valid reads
+}
+
+// scanRow reads the row from every replica and classifies the results,
+// counting corrupt reads into Stats.
+func (db *DB) scanRow(key string) rowScan {
+	var sc rowScan
 	for _, r := range db.replicas {
+		if _, ok := r.rows[key]; ok {
+			sc.sawRow = true
+		}
 		v, err := r.get(key)
 		if err != nil {
 			if errors.Is(err, ErrCorrupt) {
 				db.Stats.CorruptReads++
+				sc.corrupt = append(sc.corrupt, r)
 			}
 			continue
 		}
-		found = true
+		sc.good++
 		matched := false
-		for i := range votes {
-			if bytes.Equal(votes[i].val, v) {
-				votes[i].n++
+		for i := range sc.votes {
+			if bytes.Equal(sc.votes[i].val, v) {
+				sc.votes[i].replicas = append(sc.votes[i].replicas, r)
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			votes = append(votes, vote{val: v, n: 1})
+			sc.votes = append(sc.votes, readVote{val: v, replicas: []*Replica{r}})
 		}
 	}
-	if !found {
-		return nil, ErrNotFound
+	return sc
+}
+
+// ReadRepair reads the row from every replica, majority-votes the value
+// (§6's dual computations, extended to healing), rewrites out-voted or
+// corrupt replicas from the winner, and returns the repaired value.
+//
+// Replicas whose read fails its checksum are known-bad and do not vote:
+// the majority is taken over the checksum-valid reads, so a row corrupted
+// on all but one replica still heals from the surviving good copy. It
+// returns ErrDivergent when the valid reads produce no majority, and
+// ErrCorrupt when the row exists but every replica fails its checksum —
+// total corruption is a CEE signal, not a missing key.
+func (db *DB) ReadRepair(key string) ([]byte, error) {
+	db.Stats.Reads++
+	winner, _, err := db.readRepair(key)
+	return winner, err
+}
+
+// readRepair implements ReadRepair and additionally returns the row scan
+// so callers (the tolerant serving layer) can attribute blame per replica.
+// It does not count Stats.Reads; the public entry points do.
+func (db *DB) readRepair(key string) ([]byte, rowScan, error) {
+	sc := db.scanRow(key)
+	if !sc.sawRow {
+		return nil, sc, ErrNotFound
 	}
-	need := len(db.replicas)/2 + 1
+	if sc.good == 0 {
+		return nil, sc, fmt.Errorf("%w: key %q fails checksum on all %d replicas",
+			ErrCorrupt, key, len(db.replicas))
+	}
+	need := sc.good/2 + 1
 	var winner []byte
-	for _, v := range votes {
-		if v.n >= need {
+	for _, v := range sc.votes {
+		if len(v.replicas) >= need {
 			winner = v.val
 			break
 		}
 	}
 	if winner == nil {
 		db.Stats.DivergenceCaught++
-		return nil, fmt.Errorf("%w: no majority for key %q", ErrDivergent, key)
+		return nil, sc, fmt.Errorf("%w: no majority for key %q", ErrDivergent, key)
 	}
 	// Heal every replica that failed its checksum or lost the vote. The
 	// repair write recomputes the row from the winner's bytes with a
@@ -276,7 +335,7 @@ func (db *DB) ReadRepair(key string) ([]byte, error) {
 		r.apply(key, winner, crc)
 		db.Stats.Repairs++
 	}
-	return winner, nil
+	return winner, sc, nil
 }
 
 // QueryByValue answers a secondary-index query from one replica — the

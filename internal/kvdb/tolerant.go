@@ -1,0 +1,506 @@
+// Tolerant serving: the mitigation layer that turns the store from a
+// passive incident generator into a self-defending service.
+//
+// §6 of the paper asks applications to feed their self-check failures
+// (checksum mismatches, replica divergence) into the suspect-report
+// service; §7 asks for retry-on-a-different-core mitigation. TolerantDB
+// closes both loops around DB:
+//
+//   - every ErrCorrupt/ErrDivergent event is converted into a
+//     detect.Signal attributing the serving replica's core and delivered
+//     through a SignalSink (in-process report.Server ingest for the fleet
+//     simulator, report.Client HTTP for a remote ceereportd);
+//   - reads retry on a different replica with bounded backoff, escalate
+//     to ReadRepair, and degrade gracefully (serve the plurality value
+//     and mark the row suspect) instead of erroring;
+//   - replica selection is health-aware: replicas whose cores are
+//     quarantined or highly scored by the tracker are deprioritized,
+//     closing the report → nominate → quarantine → reroute cycle.
+//
+// Unlike DB, a TolerantDB is safe for concurrent use: all operations are
+// serialized on an internal mutex (the underlying engines are bound to
+// single cores and are not concurrency-safe).
+package kvdb
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/simtime"
+)
+
+// SignalSink delivers one suspect-core signal. A non-nil error means the
+// signal was lost (counted, never surfaced to the reading client: the
+// serving path must not fail because the reporting path did).
+type SignalSink func(detect.Signal) error
+
+// ServerSink delivers signals in-process to a report server — the fleet
+// simulator's path.
+func ServerSink(s *report.Server) SignalSink {
+	return func(sig detect.Signal) error {
+		s.Ingest(sig)
+		return nil
+	}
+}
+
+// ClientSink delivers signals to a remote ceereportd over HTTP via the
+// report client (which retries transport failures with backoff).
+func ClientSink(c *report.Client) SignalSink {
+	return func(sig detect.Signal) error {
+		return c.Report(report.Report{
+			Machine: sig.Machine,
+			Core:    sig.Core,
+			Kind:    sig.Kind.String(),
+			Detail:  sig.Detail,
+			TimeSec: float64(sig.Time),
+		})
+	}
+}
+
+// HealthFunc reports whether the (machine, core) slot serving a replica
+// should be deprioritized — typically because the core is quarantined or
+// its suspect score crossed a threshold. Avoided replicas are still used
+// when every alternative has been tried (capacity over health).
+type HealthFunc func(machine string, core int) bool
+
+// TrackerHealth builds a HealthFunc from the two live views a deployment
+// has: the quarantine ledger and the tracker's suspect nominations. A
+// replica is avoided when its core is isolated, or when a current suspect
+// for that exact core scores at least minScore.
+func TrackerHealth(isolated func(machine string, core int) bool,
+	suspects func() []detect.Suspect, minScore float64) HealthFunc {
+	return func(machine string, core int) bool {
+		if machine == "" || core < 0 {
+			return false
+		}
+		if isolated != nil && isolated(machine, core) {
+			return true
+		}
+		if suspects == nil {
+			return false
+		}
+		for _, s := range suspects() {
+			if s.Machine == machine && s.Core == core && s.Score() >= minScore {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// TolerantConfig parameterizes the serving layer.
+type TolerantConfig struct {
+	// MaxRetries bounds how many additional replicas a checksum-failed
+	// read tries before escalating to ReadRepair. 0 selects the default
+	// (2); negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubled per
+	// further retry and capped at MaxBackoff. Zero disables sleeping —
+	// the right setting for simulation, where retries are instantaneous.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff; zero means 8×RetryBackoff.
+	MaxBackoff time.Duration
+	// DualRead serves every read from two distinct replicas and compares
+	// — §6's dual-computation detector as the steady-state read path.
+	// Divergence escalates to ReadRepair, which majority-votes blame.
+	DualRead bool
+	// Sink receives every detection signal; nil drops them (counted).
+	Sink SignalSink
+	// Health deprioritizes replicas on unhealthy cores; nil treats every
+	// replica as healthy.
+	Health HealthFunc
+	// Metrics receives serving counters and histograms; nil records
+	// nothing. Replaceable later via SetMetrics.
+	Metrics *obs.Registry
+	// Now timestamps outgoing signals; nil means the zero time.
+	Now func() simtime.Time
+	// sleep is a test seam for backoff; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+// TolerantStats counts the serving layer's mitigation activity.
+type TolerantStats struct {
+	// Reads, Writes, IndexQueries count client operations.
+	Reads, Writes, IndexQueries int
+	// Retries counts different-replica retries after a failed read.
+	Retries int
+	// RecoveredByRetry counts reads that succeeded on a retry replica.
+	RecoveredByRetry int
+	// Repairs counts reads served through a successful ReadRepair.
+	Repairs int
+	// DegradedServes counts reads served with a plurality (no-majority)
+	// value; the row is marked suspect.
+	DegradedServes int
+	// IndexDivergence counts index queries where replicas disagreed.
+	IndexDivergence int
+	// Errors counts client-visible read errors (not-found excluded).
+	Errors int
+	// SignalsSent and SignalsDropped count suspect-report delivery.
+	SignalsSent, SignalsDropped int
+}
+
+// readAttemptBuckets grade the per-read replica-attempt histogram.
+var readAttemptBuckets = []float64{1, 2, 3, 4, 5, 8}
+
+// TolerantDB wraps a DB with the CEE-tolerant serving policy. Safe for
+// concurrent use.
+type TolerantDB struct {
+	mu      sync.Mutex
+	db      *DB
+	cfg     TolerantConfig
+	stats   TolerantStats
+	suspect map[string]bool // rows served degraded, pending operator review
+}
+
+// NewTolerant wraps db with the tolerant serving policy.
+func NewTolerant(db *DB, cfg TolerantConfig) *TolerantDB {
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 2
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	return &TolerantDB{db: db, cfg: cfg, suspect: map[string]bool{}}
+}
+
+// DB returns the wrapped store (single-goroutine access only).
+func (t *TolerantDB) DB() *DB { return t.db }
+
+// SetMetrics replaces the metrics registry (nil disables recording).
+func (t *TolerantDB) SetMetrics(reg *obs.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.Metrics = reg
+}
+
+// Stats returns a copy of the serving counters.
+func (t *TolerantDB) Stats() TolerantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// SuspectRows returns the rows marked suspect by degraded serves, sorted.
+func (t *TolerantDB) SuspectRows() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.suspect))
+	for k := range t.suspect {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RowSuspect reports whether a degraded serve marked the row suspect.
+func (t *TolerantDB) RowSuspect(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.suspect[key]
+}
+
+// Put writes the row through every replica (see DB.Put).
+func (t *TolerantDB) Put(key string, value []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Writes++
+	t.counter("kvdb_writes_total").Inc()
+	t.db.Put(key, value)
+	// A successful full write supersedes any earlier degraded serve.
+	delete(t.suspect, key)
+}
+
+// Get serves a read with the full mitigation ladder: health-aware replica
+// selection, retry on a different replica with bounded backoff, ReadRepair
+// escalation, and degraded plurality serving. Checksum failures and
+// divergence are reported through the sink; the client sees an error only
+// for missing keys or total corruption.
+func (t *TolerantDB) Get(key string) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Reads++
+	t.db.Stats.Reads++
+	v, attempts, result, err := t.get(key)
+	t.counter("kvdb_reads_total", obs.L("result", result)).Inc()
+	t.histogram("kvdb_read_attempts").Observe(float64(attempts))
+	return v, err
+}
+
+// get runs the mitigation ladder; the caller holds t.mu. It returns the
+// value, the number of replica read attempts consumed before escalation,
+// and the disposition label for metrics.
+func (t *TolerantDB) get(key string) (v []byte, attempts int, result string, err error) {
+	tried := map[*Replica]bool{}
+	if t.cfg.DualRead && len(t.db.replicas) >= 2 {
+		a := t.pickReplica(tried)
+		tried[a] = true
+		b := t.pickReplica(tried)
+		tried[b] = true
+		attempts = 2
+		va, errA := a.get(key)
+		vb, errB := b.get(key)
+		switch {
+		case errA == nil && errB == nil && bytes.Equal(va, vb):
+			return va, attempts, "ok", nil
+		case errors.Is(errA, ErrNotFound) && errors.Is(errB, ErrNotFound):
+			return nil, attempts, "not-found", ErrNotFound
+		case errA == nil && errB == nil:
+			// Both checksums pass but the bytes diverge: the §6 dual-
+			// computation detection. ReadRepair majority-votes the blame.
+			t.db.Stats.DivergenceCaught++
+			v, result, err = t.repairServe(key)
+			return v, attempts, result, err
+		default:
+			// At least one read failed. Report checksum failures against
+			// their serving cores (in replica order, so signal emission is
+			// deterministic), then escalate: the repair scan both heals and
+			// attributes any remaining disagreement.
+			for _, p := range []struct {
+				r *Replica
+				e error
+			}{{a, errA}, {b, errB}} {
+				if errors.Is(p.e, ErrCorrupt) {
+					t.db.Stats.CorruptReads++
+					t.emit(p.r, "read checksum mismatch: "+key)
+				}
+			}
+			v, result, err = t.repairServe(key)
+			return v, attempts, result, err
+		}
+	}
+	retrying := false
+	for {
+		r := t.pickReplica(tried)
+		if r == nil {
+			break // every replica tried
+		}
+		if retrying {
+			// Count the retry only once a fresh replica actually exists.
+			t.stats.Retries++
+			t.counter("kvdb_read_retries_total").Inc()
+			t.backoff(attempts - 1)
+		}
+		tried[r] = true
+		attempts++
+		v, rerr := r.get(key)
+		if rerr == nil {
+			if attempts > 1 {
+				t.stats.RecoveredByRetry++
+				t.counter("kvdb_reads_recovered_by_retry_total").Inc()
+				return v, attempts, "retried", nil
+			}
+			return v, attempts, "ok", nil
+		}
+		if errors.Is(rerr, ErrNotFound) {
+			// Rows are replicated to every replica; missing here means
+			// missing everywhere.
+			return nil, attempts, "not-found", rerr
+		}
+		t.db.Stats.CorruptReads++
+		t.emit(r, "read checksum mismatch: "+key)
+		if attempts > t.cfg.MaxRetries {
+			break
+		}
+		retrying = true
+	}
+	v, result, err = t.repairServe(key)
+	return v, attempts, result, err
+}
+
+// repairServe escalates a failed read to ReadRepair and, when even repair
+// cannot find a majority, degrades to serving the plurality value with the
+// row marked suspect. Blame from the repair scan is reported per replica.
+func (t *TolerantDB) repairServe(key string) ([]byte, string, error) {
+	winner, sc, err := t.db.readRepair(key)
+	for _, r := range sc.corrupt {
+		t.emit(r, "checksum failure during read repair: "+key)
+	}
+	if err == nil {
+		for _, vote := range sc.votes {
+			if bytes.Equal(vote.val, winner) {
+				continue
+			}
+			for _, r := range vote.replicas {
+				t.emit(r, "replica divergence (outvoted): "+key)
+			}
+		}
+		t.stats.Repairs++
+		t.counter("kvdb_read_repairs_total").Inc()
+		return winner, "repaired", nil
+	}
+	if errors.Is(err, ErrDivergent) && len(sc.votes) > 0 {
+		// No majority among the valid reads: serve the plurality value
+		// (first-seen order breaks ties) and mark the row suspect rather
+		// than failing the client.
+		best := 0
+		for i := range sc.votes {
+			if len(sc.votes[i].replicas) > len(sc.votes[best].replicas) {
+				best = i
+			}
+		}
+		for i, vote := range sc.votes {
+			if i == best {
+				continue
+			}
+			for _, r := range vote.replicas {
+				t.emit(r, "replica divergence (no majority): "+key)
+			}
+		}
+		t.suspect[key] = true
+		t.stats.DegradedServes++
+		t.counter("kvdb_degraded_serves_total").Inc()
+		return sc.votes[best].val, "degraded", nil
+	}
+	if errors.Is(err, ErrNotFound) {
+		return nil, "not-found", err
+	}
+	// Total corruption: nothing trustworthy to serve.
+	t.stats.Errors++
+	t.counter("kvdb_read_errors_total").Inc()
+	return nil, "error", err
+}
+
+// QueryByValue answers a secondary-index query by voting the answer across
+// replicas — the §2 replica-dependent index-corruption incident, detected
+// and outvoted at serve time. Minority replicas are reported; the client
+// always gets the plurality answer.
+func (t *TolerantDB) QueryByValue(value []byte) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.IndexQueries++
+	t.db.Stats.IndexQueries++
+	type answer struct {
+		keys     []string
+		replicas []*Replica
+	}
+	var answers []answer
+	for _, r := range t.db.replicas {
+		keys := r.lookupByValue(value)
+		matched := false
+		for i := range answers {
+			if equalStrings(answers[i].keys, keys) {
+				answers[i].replicas = append(answers[i].replicas, r)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			answers = append(answers, answer{keys: keys, replicas: []*Replica{r}})
+		}
+	}
+	best := 0
+	for i := range answers {
+		if len(answers[i].replicas) > len(answers[best].replicas) {
+			best = i
+		}
+	}
+	if len(answers) > 1 {
+		t.stats.IndexDivergence++
+		t.db.Stats.IndexDivergence++
+		t.counter("kvdb_index_divergence_total").Inc()
+		for i, a := range answers {
+			if i == best {
+				continue
+			}
+			for _, r := range a.replicas {
+				t.emit(r, "secondary-index divergence (outvoted)")
+			}
+		}
+	}
+	return answers[best].keys
+}
+
+// pickReplica returns the next untried replica, round-robin from the
+// store's cursor. The first pass skips replicas the health view avoids;
+// the second accepts them — serving from a suspect core beats not serving
+// at all. Returns nil when every replica has been tried.
+func (t *TolerantDB) pickReplica(tried map[*Replica]bool) *Replica {
+	n := len(t.db.replicas)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			idx := (t.db.next + i) % n
+			r := t.db.replicas[idx]
+			if tried[r] {
+				continue
+			}
+			if pass == 0 && t.avoid(r) {
+				continue
+			}
+			t.db.next = (idx + 1) % n
+			return r
+		}
+	}
+	return nil
+}
+
+func (t *TolerantDB) avoid(r *Replica) bool {
+	return t.cfg.Health != nil && t.cfg.Health(r.Machine, r.CoreIndex)
+}
+
+// emit converts one detection event into a suspect-report signal
+// attributing the serving replica's core and delivers it via the sink.
+// Replicas without a fleet slot report under their replica ID with core
+// -1 (machine-level attribution).
+func (t *TolerantDB) emit(r *Replica, detail string) {
+	machine := r.Machine
+	if machine == "" {
+		machine = r.ID
+	}
+	sig := detect.Signal{
+		Machine: machine,
+		Core:    r.CoreIndex,
+		Kind:    detect.SigAppError,
+		Detail:  detail,
+	}
+	if t.cfg.Now != nil {
+		sig.Time = t.cfg.Now()
+	}
+	if t.cfg.Sink == nil {
+		t.stats.SignalsDropped++
+		t.counter("kvdb_signals_dropped_total").Inc()
+		return
+	}
+	if err := t.cfg.Sink(sig); err != nil {
+		t.stats.SignalsDropped++
+		t.counter("kvdb_signals_dropped_total").Inc()
+		return
+	}
+	t.stats.SignalsSent++
+	t.counter("kvdb_signals_total", obs.L("kind", sig.Kind.String())).Inc()
+}
+
+// backoff sleeps before retry number retry (0-based): RetryBackoff doubled
+// per retry, capped at MaxBackoff. No-op when RetryBackoff is zero.
+func (t *TolerantDB) backoff(retry int) {
+	d := t.cfg.RetryBackoff
+	if d <= 0 {
+		return
+	}
+	d <<= uint(retry)
+	max := t.cfg.MaxBackoff
+	if max <= 0 {
+		max = 8 * t.cfg.RetryBackoff
+	}
+	if d > max {
+		d = max
+	}
+	sleep := t.cfg.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
+}
+
+func (t *TolerantDB) counter(name string, labels ...obs.Label) *obs.Counter {
+	return t.cfg.Metrics.Counter(name, labels...)
+}
+
+func (t *TolerantDB) histogram(name string) *obs.Histogram {
+	return t.cfg.Metrics.HistogramBuckets(name, readAttemptBuckets)
+}

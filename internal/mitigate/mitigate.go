@@ -96,18 +96,41 @@ func (x *Executor) Once(comp Computation) ([]byte, Stats, error) {
 
 // DMR runs the computation on two cores; on disagreement it restarts on a
 // different pair, up to maxRounds rounds. Cost ~2× when cores agree.
+//
+// When retries exhaust the pool of never-used cores, cores are reused —
+// but never the exact pair that just disagreed: re-running the same pair
+// would deterministically reproduce the same disagreement on a
+// deterministic defect. On a pool too small to avoid both members, the
+// next pair differs in at least one core; only a two-core pool may repeat
+// a pair, since no other pair exists.
 func (x *Executor) DMR(comp Computation, maxRounds int) ([]byte, Stats, error) {
 	var st Stats
 	if maxRounds < 1 {
 		maxRounds = 1
 	}
 	used := map[int]bool{}
+	lastA, lastB := -1, -1
 	for round := 0; round < maxRounds; round++ {
 		idx, err := x.pick(2, used)
 		if err != nil {
-			// Pool exhausted: fall back to reusing all cores.
+			// Pool exhausted: allow reuse, excluding the failing pair.
 			used = map[int]bool{}
+			if lastA >= 0 {
+				used[lastA] = true
+				used[lastB] = true
+			}
 			idx, err = x.pick(2, used)
+			if err != nil && lastA >= 0 {
+				// Three-core pool: excluding both members leaves one core.
+				// Exclude a single member so the pair still changes.
+				used = map[int]bool{lastA: true}
+				idx, err = x.pick(2, used)
+				if err != nil {
+					// Two-core pool: the failing pair is the only pair.
+					used = map[int]bool{}
+					idx, err = x.pick(2, used)
+				}
+			}
 			if err != nil {
 				return nil, st, err
 			}
@@ -119,6 +142,7 @@ func (x *Executor) DMR(comp Computation, maxRounds int) ([]byte, Stats, error) {
 		}
 		st.Disagreements++
 		st.Retries++
+		lastA, lastB = idx[0], idx[1]
 		used[idx[0]] = true
 		used[idx[1]] = true
 	}
@@ -134,11 +158,16 @@ func (x *Executor) TMR(comp Computation) ([]byte, Stats, error) {
 
 // NModular generalizes TMR to n replicas with majority voting — the
 // "certain computations are critical enough that we are willing to pay"
-// knob. n must be odd to guarantee a possible majority.
+// knob. n must be odd: an even split carries no majority, so even n buys
+// extra executions without buying extra decisiveness. Even n is rejected
+// rather than silently accepted.
 func (x *Executor) NModular(comp Computation, n int) ([]byte, Stats, error) {
 	var st Stats
 	if n < 1 {
 		return nil, st, fmt.Errorf("mitigate: NModular needs n >= 1, got %d", n)
+	}
+	if n%2 == 0 {
+		return nil, st, fmt.Errorf("mitigate: NModular needs odd n for a guaranteed possible majority, got %d", n)
 	}
 	idx, err := x.pick(n, nil)
 	if err != nil {

@@ -164,6 +164,73 @@ func TestNModularValidation(t *testing.T) {
 	}
 }
 
+func TestNModularRejectsEvenN(t *testing.T) {
+	x := NewExecutor(healthyPool(6, 27), 28)
+	for _, n := range []int{2, 4, 6} {
+		if _, _, err := x.NModular(sumComp, n); err == nil {
+			t.Fatalf("even n=%d accepted; an even split carries no majority", n)
+		}
+	}
+}
+
+// allBadPool returns n cores that each corrupt every add by a distinct
+// delta, so any pair of them disagrees deterministically.
+func allBadPool(n int, seed uint64) []*fault.Core {
+	cores := make([]*fault.Core, n)
+	for i := range cores {
+		cores[i] = fault.NewCore(fmt.Sprintf("bad%d", i), xrand.New(seed*100+uint64(i)),
+			fault.Defect{ID: fmt.Sprintf("d%d", i), Unit: fault.UnitALU,
+				Deterministic: true, Kind: fault.CorruptOffByOne, Delta: int64(i + 1)})
+	}
+	return cores
+}
+
+func TestDMRNeverRepeatsFailingPair(t *testing.T) {
+	// Three always-disagreeing cores force pool exhaustion after round 1.
+	// The retry pair must never be the exact pair that just disagreed —
+	// re-running it would deterministically reproduce the disagreement.
+	for seed := uint64(0); seed < 20; seed++ {
+		var order []string
+		comp := func(e *engine.Engine) []byte {
+			order = append(order, e.Core().ID)
+			return sumComp(e)
+		}
+		x := NewExecutor(allBadPool(3, seed), seed+31)
+		_, st, err := x.DMR(comp, 6)
+		if !errors.Is(err, ErrRetriesExhausted) {
+			t.Fatalf("seed %d: err = %v, want ErrRetriesExhausted", seed, err)
+		}
+		if st.Retries != 6 || len(order) != 12 {
+			t.Fatalf("seed %d: stats %+v, %d executions", seed, st, len(order))
+		}
+		pair := func(r int) string {
+			a, b := order[2*r], order[2*r+1]
+			if a > b {
+				a, b = b, a
+			}
+			return a + "+" + b
+		}
+		for r := 1; r < 6; r++ {
+			if pair(r) == pair(r-1) {
+				t.Fatalf("seed %d: round %d reused the failing pair %s", seed, r, pair(r))
+			}
+		}
+	}
+}
+
+func TestDMRTwoCorePoolDegradesToReuse(t *testing.T) {
+	// With only two cores the failing pair is the only pair: DMR keeps
+	// retrying it (rather than erroring out of picks) and exhausts rounds.
+	x := NewExecutor(allBadPool(2, 5), 33)
+	_, st, err := x.DMR(sumComp, 3)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if st.Executions != 6 {
+		t.Fatalf("executions = %d, want 6 (3 rounds of 2)", st.Executions)
+	}
+}
+
 func TestNModularOneIsBaseline(t *testing.T) {
 	x := NewExecutor(healthyPool(2, 15), 16)
 	out, st, err := x.NModular(sumComp, 1)

@@ -60,24 +60,27 @@ type HealthJSON struct {
 	Status string `json:"status"`
 }
 
-// kindFromString maps wire kinds to detect.SignalKind; unknown kinds map
-// to SigAppError so that forward-compatible clients degrade gracefully.
-func kindFromString(s string) detect.SignalKind {
+// kindFromString maps wire kinds to detect.SignalKind. Unknown kinds map
+// to SigAppError so that forward-compatible clients degrade gracefully,
+// but known is false so the server can count the coercion — a fleet of
+// new-version clients emitting a kind this server predates should be
+// visible in metrics, not silently folded into app-error.
+func kindFromString(s string) (kind detect.SignalKind, known bool) {
 	switch s {
 	case "crash":
-		return detect.SigCrash
+		return detect.SigCrash, true
 	case "mce":
-		return detect.SigMCE
+		return detect.SigMCE, true
 	case "sanitizer":
-		return detect.SigSanitizer
+		return detect.SigSanitizer, true
 	case "app-error":
-		return detect.SigAppError
+		return detect.SigAppError, true
 	case "screen-fail":
-		return detect.SigScreenFail
+		return detect.SigScreenFail, true
 	case "user-report":
-		return detect.SigUserReport
+		return detect.SigUserReport, true
 	default:
-		return detect.SigAppError
+		return detect.SigAppError, false
 	}
 }
 
@@ -202,10 +205,14 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			"core must be >= -1 (-1 = unattributed), got %d", rep.Core)
 		return
 	}
+	kind, known := kindFromString(rep.Kind)
+	if !known {
+		s.reg.Counter("ceereport_signals_unknown_kind_total").Inc()
+	}
 	sig := detect.Signal{
 		Machine: rep.Machine,
 		Core:    rep.Core,
-		Kind:    kindFromString(rep.Kind),
+		Kind:    kind,
 		Time:    simtime.Time(rep.TimeSec),
 		Detail:  rep.Detail,
 	}

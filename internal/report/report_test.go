@@ -237,19 +237,50 @@ func TestIngestBatchMatchesSerialIngest(t *testing.T) {
 }
 
 func TestKindMapping(t *testing.T) {
-	cases := map[string]detect.SignalKind{
-		"crash":       detect.SigCrash,
-		"mce":         detect.SigMCE,
-		"sanitizer":   detect.SigSanitizer,
-		"app-error":   detect.SigAppError,
-		"screen-fail": detect.SigScreenFail,
-		"user-report": detect.SigUserReport,
-		"mystery":     detect.SigAppError, // unknown degrades gracefully
+	cases := map[string]struct {
+		kind  detect.SignalKind
+		known bool
+	}{
+		"crash":       {detect.SigCrash, true},
+		"mce":         {detect.SigMCE, true},
+		"sanitizer":   {detect.SigSanitizer, true},
+		"app-error":   {detect.SigAppError, true},
+		"screen-fail": {detect.SigScreenFail, true},
+		"user-report": {detect.SigUserReport, true},
+		"mystery":     {detect.SigAppError, false}, // unknown degrades gracefully
 	}
 	for s, want := range cases {
-		if got := kindFromString(s); got != want {
-			t.Fatalf("kindFromString(%q) = %v, want %v", s, got, want)
+		got, known := kindFromString(s)
+		if got != want.kind || known != want.known {
+			t.Fatalf("kindFromString(%q) = (%v, %v), want (%v, %v)",
+				s, got, known, want.kind, want.known)
 		}
+	}
+}
+
+func TestUnknownKindCounted(t *testing.T) {
+	srv, c := newTestService(t)
+	for i := 0; i < 3; i++ {
+		if err := c.Report(Report{Machine: "m", Core: 0, Kind: "mystery-kind"}); err != nil {
+			t.Fatalf("report: %v", err)
+		}
+	}
+	if err := c.Report(Report{Machine: "m", Core: 0, Kind: "app-error"}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	snap := srv.Metrics().Snapshot()
+	var unknown float64
+	for _, m := range snap {
+		if m.Name == "ceereport_signals_unknown_kind_total" {
+			unknown = m.Value
+		}
+	}
+	if unknown != 3 {
+		t.Fatalf("ceereport_signals_unknown_kind_total = %v, want 3", unknown)
+	}
+	// Coerced signals still land in the tracker as app-error.
+	if srv.TotalReports() != 4 {
+		t.Fatalf("TotalReports = %d, want 4", srv.TotalReports())
 	}
 }
 
