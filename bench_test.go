@@ -21,6 +21,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/mitigate"
 	"repro/internal/selfcheck"
+	"repro/internal/taskrun"
 	"repro/internal/xrand"
 )
 
@@ -218,4 +219,51 @@ func BenchmarkCorpusWorkloads(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTaskrunCheckpointOverhead measures what the checkpoint/retry
+// runtime costs on healthy silicon: the same corpus granule run bare on
+// an engine, under the supervisor (record + verify + commit), and under
+// the supervisor in paranoid mode (every granule DMR-replayed on a second
+// core before commit). The supervised/bare ratio is the price of §7's
+// safety net when nothing goes wrong; paranoid adds roughly one extra
+// execution, as DMR should.
+func BenchmarkTaskrunCheckpointOverhead(b *testing.B) {
+	work := func() corpus.Workload { return corpus.NewArith(1024) }
+	b.Run("bare", func(b *testing.B) {
+		w := work()
+		e := engine.New(fault.NewCore("h", xrand.New(1)))
+		for i := 0; i < b.N; i++ {
+			if res := w.Run(e, xrand.New(uint64(i))); res.Verdict != corpus.Pass {
+				b.Fatalf("healthy core failed corpus: %+v", res)
+			}
+		}
+	})
+	supervised := func(b *testing.B, paranoid bool) {
+		rng := xrand.New(2)
+		cores := make([]*fault.Core, 2)
+		for i := range cores {
+			cores[i] = fault.NewCore(fmt.Sprintf("m0/c%d", i), rng)
+		}
+		cluster, provider, err := taskrun.NewPool("m0", cores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup, err := taskrun.NewSupervisor(cluster, provider, taskrun.Config{Paranoid: paranoid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := taskrun.CorpusGranule(work())
+		for i := 0; i < b.N; i++ {
+			task := &taskrun.Task{ID: fmt.Sprintf("t%d", i), Granules: []taskrun.Granule{g}}
+			if _, err := sup.Run(task, xrand.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := sup.Stats(); st.Restores != 0 {
+			b.Fatalf("healthy pool restored %d checkpoints", st.Restores)
+		}
+	}
+	b.Run("supervised", func(b *testing.B) { supervised(b, false) })
+	b.Run("supervised-paranoid", func(b *testing.B) { supervised(b, true) })
 }

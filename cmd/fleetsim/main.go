@@ -44,7 +44,27 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file, '-' for stdout (traced-run mode)")
 	days := flag.Int("days", 45, "days to simulate in traced-run mode")
 	kvStores := flag.Int("kvstores", 0, "tolerant kvdb stores to serve during traced-run mode (0 disables)")
+	taskRun := flag.Int("taskrun", 0, "checkpoint/retry tasks to run per day during traced-run mode (0 disables)")
 	flag.Parse()
+
+	// Reject nonsense before it silently misbehaves (a negative
+	// parallelism used to fall through to the worker pool; 0 = auto).
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: -parallelism must be >= 1 (or 0 for GOMAXPROCS), got %d\n", *par)
+		os.Exit(2)
+	}
+	if *days <= 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: -days must be positive, got %d\n", *days)
+		os.Exit(2)
+	}
+	if *kvStores < 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: -kvstores must be >= 0, got %d\n", *kvStores)
+		os.Exit(2)
+	}
+	if *taskRun < 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: -taskrun must be >= 0, got %d\n", *taskRun)
+		os.Exit(2)
+	}
 
 	fleet.SetDefaultParallelism(*par)
 
@@ -60,7 +80,7 @@ func main() {
 	}
 
 	if *tracePath != "" || *metricsPath != "" {
-		if err := runTraced(s, *par, *days, *kvStores, *tracePath, *metricsPath); err != nil {
+		if err := runTraced(s, *par, *days, *kvStores, *taskRun, *tracePath, *metricsPath); err != nil {
 			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -68,6 +88,10 @@ func main() {
 	}
 	if *kvStores > 0 {
 		fmt.Fprintln(os.Stderr, "fleetsim: -kvstores needs traced-run mode (use -trace and/or -metrics)")
+		os.Exit(2)
+	}
+	if *taskRun > 0 {
+		fmt.Fprintln(os.Stderr, "fleetsim: -taskrun needs traced-run mode (use -trace and/or -metrics)")
 		os.Exit(2)
 	}
 
@@ -90,13 +114,16 @@ func main() {
 
 // runTraced performs one instrumented fleet run at the given scale and
 // dumps the requested observability artifacts.
-func runTraced(s experiments.Scale, par, days, kvStores int, tracePath, metricsPath string) error {
+func runTraced(s experiments.Scale, par, days, kvStores, taskRun int, tracePath, metricsPath string) error {
 	if days <= 0 {
 		return fmt.Errorf("days must be positive, got %d", days)
 	}
 	cfg := experiments.FleetConfig(s)
 	if kvStores > 0 {
 		cfg.KVDB.Stores = kvStores
+	}
+	if taskRun > 0 {
+		cfg.TaskRun.Tasks = taskRun
 	}
 	opts := []fleet.RunnerOption{fleet.WithParallelism(par)}
 	var tr *obs.Trace
@@ -125,6 +152,19 @@ func runTraced(s experiments.Scale, par, days, kvStores int, tracePath, metricsP
 		}
 		fmt.Printf("kvdb: %d stores served %d reads: %d retries, %d repairs, %d degraded, %d client errors\n",
 			kvStores, reads, retries, repairs, degraded, errs)
+	}
+	if taskRun > 0 {
+		var granules, retries, migrations, restores, sigs, failures int
+		for _, d := range series {
+			granules += d.TRGranules
+			retries += d.TRRetries
+			migrations += d.TRMigrations
+			restores += d.TRRestores
+			sigs += d.TRSignals
+			failures += d.TRFailures
+		}
+		fmt.Printf("taskrun: %d tasks/day committed %d granules: %d retries, %d restores, %d migrations, %d signals, %d failed tasks\n",
+			taskRun, granules, retries, restores, migrations, sigs, failures)
 	}
 
 	if tr != nil {

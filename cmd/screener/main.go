@@ -31,6 +31,15 @@ func main() {
 	list := flag.Bool("list", false, "list defect classes and corpus workloads, then exit")
 	flag.Parse()
 
+	if *cores < 1 {
+		fmt.Fprintf(os.Stderr, "screener: -cores must be >= 1, got %d\n", *cores)
+		os.Exit(2)
+	}
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "screener: -parallelism must be >= 1 (or 0 for GOMAXPROCS), got %d\n", *par)
+		os.Exit(2)
+	}
+
 	if *list {
 		fmt.Println("defect classes:")
 		for _, c := range fault.Catalog {

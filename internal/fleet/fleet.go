@@ -35,6 +35,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/screen"
 	"repro/internal/simtime"
+	"repro/internal/taskrun"
 	"repro/internal/xrand"
 )
 
@@ -105,6 +106,10 @@ type Config struct {
 	// kvdb.go); the zero value disables it and leaves every random
 	// stream — and therefore all existing experiment output — untouched.
 	KVDB KVDBConfig
+	// TaskRun enables the checkpoint/retry batch-workload phase (see
+	// taskrun.go); the zero value disables it and, like KVDB, consumes
+	// no randomness when disabled.
+	TaskRun TaskRunConfig
 }
 
 // SKU is one CPU product population in the fleet.
@@ -265,6 +270,11 @@ type DayStats struct {
 	// retries, read-repair heals, degraded (no-majority) serves, and
 	// client-visible errors.
 	KVReads, KVRetries, KVRepairs, KVDegraded, KVErrors int
+	// TR* count the checkpoint/retry workload's day (zero unless
+	// Config.TaskRun enables the phase): granules committed, granule
+	// re-executions, placements migrated, checkpoint restores, suspect
+	// signals escalated, and tasks that exhausted their retries.
+	TRGranules, TRRetries, TRMigrations, TRRestores, TRSignals, TRFailures int
 }
 
 // TriageStats tracks the human-triage ledger for experiment E5. The paper
@@ -332,6 +342,12 @@ type Fleet struct {
 	kvSignals []detect.Signal
 	kvAvoid   map[sched.CoreRef]bool
 	kvNow     simtime.Time
+	// taskrun workload state (see taskrun.go); nil unless Config.TaskRun
+	// enables the phase. trSignals buffers the day's escalated signals
+	// for batch merge; trNow timestamps them.
+	taskSup   *taskrun.Supervisor
+	trSignals []detect.Signal
+	trNow     simtime.Time
 }
 
 // New builds the fleet population deterministically from cfg.
@@ -416,10 +432,13 @@ func New(cfg Config) *Fleet {
 		}
 		f.machines = append(f.machines, m)
 	}
-	// The kvdb workload builds last so its streams fork after the
-	// population's; disabled (the default), it forks nothing.
+	// The opt-in workloads build last so their streams fork after the
+	// population's; disabled (the default), they fork nothing.
 	if cfg.KVDB.Stores > 0 {
 		f.buildKVStores()
+	}
+	if cfg.TaskRun.Tasks > 0 {
+		f.buildTaskRun()
 	}
 	return f
 }
@@ -438,6 +457,9 @@ func (f *Fleet) SetMetrics(reg *obs.Registry) {
 	f.manager.Metrics = reg
 	for _, ks := range f.kvStores {
 		ks.tdb.SetMetrics(reg)
+	}
+	if f.taskSup != nil {
+		f.taskSup.SetMetrics(reg)
 	}
 }
 

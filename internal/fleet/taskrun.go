@@ -1,0 +1,134 @@
+package fleet
+
+// The taskrun day phase: batch tasks built from corpus workloads run
+// under the taskrun.Supervisor's checkpoint/retry state machine, with
+// each task's first placement pinned onto a live defect site so the §7
+// runtime exercises real mercurial cores daily. Granule failures restore
+// the last checkpoint, replay the recorded inputs on a different core,
+// and — past the per-core divergence threshold — escalate core-attributed
+// signals into the same report server the production and kvdb paths feed.
+//
+// Like the kvdb phase, it is disabled by default (Config.TaskRun.Tasks ==
+// 0) and consumes no randomness when disabled, so existing experiment
+// outputs stay bit-identical. Enabled, it runs serially (phase 3c, after
+// kvdb, before noise): every RNG fork is ordered and every signal lands
+// in the batch buffer in task order, preserving bit-identical output at
+// any parallelism.
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/taskrun"
+	"repro/internal/xrand"
+)
+
+// TaskRunConfig parameterizes the optional checkpoint/retry workload
+// phase.
+type TaskRunConfig struct {
+	// Tasks is the number of supervised tasks run per day; 0 disables
+	// the phase. Task k's first placement is pinned to defect site k mod
+	// sites (when one is schedulable), so the runtime meets real
+	// mercurial cores.
+	Tasks int
+	// GranulesPerTask is the checkpoint granularity (default 3); the
+	// granules cycle through the screening corpus.
+	GranulesPerTask int
+	// MaxRetries bounds re-executions per granule (default 3).
+	MaxRetries int
+	// DivergenceThreshold is the per-core escalation floor (default 2).
+	DivergenceThreshold int
+	// Paranoid enables DMR-style verification of every granule.
+	Paranoid bool
+}
+
+func (c TaskRunConfig) withDefaults() TaskRunConfig {
+	if c.GranulesPerTask <= 0 {
+		c.GranulesPerTask = 3
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.DivergenceThreshold <= 0 {
+		c.DivergenceThreshold = 2
+	}
+	return c
+}
+
+// buildTaskRun constructs the supervisor during New. Only called when
+// the phase is enabled, so the master RNG is untouched otherwise.
+func (f *Fleet) buildTaskRun() {
+	tcfg := f.cfg.TaskRun.withDefaults()
+	sup, err := taskrun.NewSupervisor(f.cluster, f.coreFor, taskrun.Config{
+		MaxRetries:          tcfg.MaxRetries,
+		DivergenceThreshold: tcfg.DivergenceThreshold,
+		Paranoid:            tcfg.Paranoid,
+		// Signals are buffered and batch-merged by the serial phase.
+		Sink: func(sig detect.Signal) error {
+			f.trSignals = append(f.trSignals, sig)
+			return nil
+		},
+		Metrics: f.obs,
+		Now:     func() simtime.Time { return f.trNow },
+	})
+	if err != nil {
+		panic(err)
+	}
+	f.taskSup = sup
+}
+
+// taskrunStart picks the defect site task t pins its first placement to,
+// cycling through live (unrepaired, undrained, unquarantined) sites. Nil
+// when none remains schedulable — the task then places normally.
+func (f *Fleet) taskrunStart(t int) *sched.CoreRef {
+	n := len(f.defects)
+	for probe := 0; probe < n; probe++ {
+		site := f.defects[(t+probe)%n]
+		if site.Repaired {
+			continue
+		}
+		m := f.machineByID(site.Machine)
+		if m == nil || m.drained || m.quarantined[site.Core] {
+			continue
+		}
+		return &sched.CoreRef{Machine: site.Machine, Core: site.Core}
+	}
+	return nil
+}
+
+// runTaskRun is phase 3c: the day's supervised batch workload. Serial —
+// every fork is ordered and every signal lands in the buffer in task
+// order.
+func (f *Fleet) runTaskRun(dayRNG *xrand.RNG, now simtime.Time, st *DayStats) {
+	tcfg := f.cfg.TaskRun.withDefaults()
+	f.trNow = now
+	before := f.taskSup.Stats()
+	for t := 0; t < tcfg.Tasks; t++ {
+		id := fmt.Sprintf("tr-d%04d-t%03d", st.Day, t)
+		task := &taskrun.Task{ID: id, Start: f.taskrunStart(t)}
+		for g := 0; g < tcfg.GranulesPerTask; g++ {
+			w := f.allWork[(t+g)%len(f.allWork)]
+			task.Granules = append(task.Granules, taskrun.CorpusGranule(w))
+		}
+		if _, err := f.taskSup.Run(task, dayRNG.ForkString("taskrun:"+id)); err != nil {
+			st.TRFailures++
+		}
+	}
+	after := f.taskSup.Stats()
+	st.TRGranules += after.Granules - before.Granules
+	st.TRRetries += after.Retries - before.Retries
+	st.TRMigrations += after.Migrations - before.Migrations
+	st.TRRestores += after.Restores - before.Restores
+	st.TRSignals += after.SignalsSent - before.SignalsSent
+
+	// Merge the buffered detection signals exactly like site signals:
+	// batch-ingested in deterministic order, traced, counted.
+	if len(f.trSignals) > 0 {
+		st.AutoReports += len(f.trSignals)
+		f.server.IngestBatch(f.trSignals)
+		f.traceFirstSignals(f.trSignals)
+		f.trSignals = f.trSignals[:0]
+	}
+}

@@ -160,6 +160,15 @@ func (f *Fleet) Step() DayStats {
 		pc.mark("kvdb")
 	}
 
+	// Phase 3c: the checkpoint/retry batch workload (serial, optional).
+	// Same position rationale as kvdb: after the merge so placement sees
+	// yesterday's quarantines, before suspect processing so today's
+	// escalations can nominate today.
+	if f.taskSup != nil {
+		f.runTaskRun(dayRNG, now, &st)
+		pc.mark("taskrun")
+	}
+
 	// Phase 4: background software-bug noise over the whole fleet, spread
 	// evenly — the signals the concentration test must reject.
 	noiseLambda := f.cfg.SoftwareBugSignalsPerMachineDay * float64(len(f.machines))

@@ -12,6 +12,32 @@ import (
 // be fed the identical sequence. Output bytes are the votable result.
 type ReplayComputation func(e *engine.Engine, in replay.Source) ([]byte, error)
 
+// VerifyReplay is the DMR half of the replay sketch: re-run a recorded
+// computation on a second (verifier) engine from its tape and compare the
+// output against the primary's bytes. agree is false when the verifier
+// errors, traps, or produces different bytes — with identical inputs any
+// of those is a disagreement only hardware can explain. A non-nil err
+// means the verifier could not even follow the tape (control-flow
+// divergence: tape exhaustion or kind mismatch) or the computation itself
+// failed on the verifier; the caller decides which side to blame, since
+// DMR by construction cannot.
+func VerifyReplay(verifier *engine.Engine, comp ReplayComputation, tape *replay.Tape, primary []byte) (agree bool, st Stats, err error) {
+	core := verifier.Core()
+	before := core.TotalOps()
+	out, err := comp(verifier, replay.NewReplayer(tape))
+	st.Executions++
+	st.Ops += core.TotalOps() - before
+	if err != nil {
+		st.Disagreements++
+		return false, st, err
+	}
+	if verifier.Trapped() != nil || !bytes.Equal(out, primary) {
+		st.Disagreements++
+		return false, st, nil
+	}
+	return true, st, nil
+}
+
 // TMRWithReplay implements §7's replicated-execution sketch for
 // nondeterministic computations: the first execution runs against live
 // inputs through rec (recording them), then two replicas replay the tape

@@ -1,10 +1,12 @@
 package mitigate
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/replay"
 	"repro/internal/xrand"
 )
@@ -97,5 +99,58 @@ func TestTMRWithReplayPrimaryError(t *testing.T) {
 	_, _, err := x.TMRWithReplay(nondetComp, &replay.Recorder{})
 	if err == nil {
 		t.Fatal("primary input failure not propagated")
+	}
+}
+
+func TestVerifyReplayAgreesOnHealthyPair(t *testing.T) {
+	rec := liveRecorder(1)
+	primary, err := nondetComp(engine.New(fault.NewCore("p", xrand.New(2))), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, st, err := VerifyReplay(engine.New(fault.NewCore("v", xrand.New(3))),
+		nondetComp, rec.Tape(), primary)
+	if err != nil || !agree {
+		t.Fatalf("agree = %v, err = %v", agree, err)
+	}
+	if st.Executions != 1 || st.Disagreements != 0 || st.Ops == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVerifyReplayFlagsCorruptVerifier(t *testing.T) {
+	rec := liveRecorder(4)
+	primary, err := nondetComp(engine.New(fault.NewCore("p", xrand.New(5))), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defect := fault.Defect{ID: "flip", Unit: fault.UnitALU, Deterministic: true,
+		Kind: fault.CorruptBitFlip, BitPos: 9}
+	agree, st, err := VerifyReplay(engine.New(fault.NewCore("v", xrand.New(6), defect)),
+		nondetComp, rec.Tape(), primary)
+	if err != nil || agree {
+		t.Fatalf("agree = %v, err = %v, want silent disagreement", agree, err)
+	}
+	if st.Disagreements != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVerifyReplayShortTapeSurfacesDivergence(t *testing.T) {
+	// A truncated tape makes the verifier's control flow run off the end:
+	// VerifyReplay must disagree AND surface the replay error for the
+	// caller to attribute.
+	rec := liveRecorder(7)
+	rec.U64() // only one entry recorded; nondetComp wants 100
+	agree, st, err := VerifyReplay(engine.New(fault.NewCore("v", xrand.New(8))),
+		nondetComp, rec.Tape(), []byte("whatever"))
+	if agree {
+		t.Fatal("agree on a tape the verifier could not follow")
+	}
+	if !errors.Is(err, replay.ErrTapeExhausted) {
+		t.Fatalf("err = %v, want ErrTapeExhausted", err)
+	}
+	if st.Disagreements != 1 {
+		t.Fatalf("stats = %+v", st)
 	}
 }

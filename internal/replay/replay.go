@@ -61,11 +61,16 @@ type entry struct {
 
 // Tape is an immutable recording of a computation's input sequence.
 type Tape struct {
+	label   string
 	entries []entry
 }
 
 // Len returns the number of recorded inputs.
 func (t *Tape) Len() int { return len(t.entries) }
+
+// Label returns the name of the computation the tape was recorded from
+// (the granule name), "" if the recorder was unlabeled.
+func (t *Tape) Label() string { return t.label }
 
 // Source is the input boundary a replicable computation reads through.
 // Recorder and Replayer both implement it.
@@ -80,6 +85,10 @@ type Source interface {
 
 // Recorder wraps a live input provider and records everything it returns.
 type Recorder struct {
+	// Label names the computation being recorded (e.g. a taskrun granule).
+	// It is carried onto the tape and into replay-divergence errors so a
+	// supervisor can attribute a control-flow divergence to its granule.
+	Label string
 	// NextU64 supplies live 64-bit inputs.
 	NextU64 func() uint64
 	// NextBytes supplies live byte-string inputs.
@@ -127,7 +136,7 @@ func (r *Recorder) Bool() (bool, error) {
 // Tape returns the recording so far. The returned tape shares no mutable
 // state with the recorder's future appends beyond the recorded prefix.
 func (r *Recorder) Tape() *Tape {
-	return &Tape{entries: append([]entry(nil), r.tape.entries...)}
+	return &Tape{label: r.Label, entries: append([]entry(nil), r.tape.entries...)}
 }
 
 // Replayer feeds a tape back to a replica.
@@ -142,14 +151,26 @@ func NewReplayer(t *Tape) *Replayer { return &Replayer{tape: t} }
 // Remaining returns the number of unconsumed entries.
 func (p *Replayer) Remaining() int { return len(p.tape.entries) - p.pos }
 
+// Position returns the index of the next entry to be consumed — on a
+// divergence error, how far into the granule the replica got.
+func (p *Replayer) Position() int { return p.pos }
+
+// where renders the tape's granule label for error messages.
+func (p *Replayer) where() string {
+	if p.tape.label == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (granule %q)", p.tape.label)
+}
+
 func (p *Replayer) next(kind Kind) (entry, error) {
 	if p.pos >= len(p.tape.entries) {
-		return entry{}, fmt.Errorf("%w at position %d", ErrTapeExhausted, p.pos)
+		return entry{}, fmt.Errorf("%w at position %d%s", ErrTapeExhausted, p.pos, p.where())
 	}
 	e := p.tape.entries[p.pos]
 	if e.kind != kind {
-		return entry{}, fmt.Errorf("%w at position %d: tape has %v, replica wants %v",
-			ErrKindMismatch, p.pos, e.kind, kind)
+		return entry{}, fmt.Errorf("%w at position %d%s: tape has %v, replica wants %v",
+			ErrKindMismatch, p.pos, p.where(), e.kind, kind)
 	}
 	p.pos++
 	return e, nil

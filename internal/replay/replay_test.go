@@ -126,3 +126,61 @@ func TestKindString(t *testing.T) {
 		t.Fatal("unknown kind should include number")
 	}
 }
+
+func TestReplayExhaustedCarriesLabelAndPosition(t *testing.T) {
+	rec := &Recorder{Label: "granule-7", NextU64: func() uint64 { return 7 }}
+	rec.U64()
+	rec.U64()
+	tape := rec.Tape()
+	if got := tape.Label(); got != "granule-7" {
+		t.Fatalf("tape label = %q", got)
+	}
+	p := NewReplayer(tape)
+	p.U64()
+	p.U64()
+	_, err := p.U64()
+	if !errors.Is(err, ErrTapeExhausted) {
+		t.Fatalf("err = %v, want ErrTapeExhausted", err)
+	}
+	if !strings.Contains(err.Error(), `granule "granule-7"`) {
+		t.Fatalf("error %q does not name the granule", err)
+	}
+	if !strings.Contains(err.Error(), "position 2") {
+		t.Fatalf("error %q does not carry the position", err)
+	}
+	if p.Position() != 2 {
+		t.Fatalf("Position() = %d, want 2", p.Position())
+	}
+}
+
+func TestReplayKindMismatchCarriesLabelAndPosition(t *testing.T) {
+	rec := &Recorder{Label: "crc-step", NextU64: func() uint64 { return 1 }}
+	rec.U64()
+	p := NewReplayer(rec.Tape())
+	_, err := p.Bytes()
+	if !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("err = %v, want ErrKindMismatch", err)
+	}
+	for _, want := range []string{`granule "crc-step"`, "position 0", "u64", "bytes"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	if p.Position() != 0 {
+		t.Fatalf("Position() = %d, want 0 (mismatch does not consume)", p.Position())
+	}
+}
+
+func TestReplayUnlabeledErrorsOmitGranule(t *testing.T) {
+	rec := &Recorder{NextU64: func() uint64 { return 1 }}
+	rec.U64()
+	p := NewReplayer(rec.Tape())
+	p.U64()
+	_, err := p.U64()
+	if !errors.Is(err, ErrTapeExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if strings.Contains(err.Error(), "granule") {
+		t.Fatalf("unlabeled error %q should not mention a granule", err)
+	}
+}

@@ -191,6 +191,133 @@ func (c *Cluster) Place(t *Task) (CoreRef, error) {
 	return CoreRef{}, fmt.Errorf("sched: no admissible core for task %q", t.ID)
 }
 
+// assign records task t on ref, which the caller has verified to be idle
+// and admissible.
+func (c *Cluster) assign(t *Task, ref CoreRef) {
+	c.machines[ref.Machine].cores[ref.Core].task = t.ID
+	c.placement[t.ID] = ref
+	c.tasks[t.ID] = t
+}
+
+// PlaceAt assigns the task to one specific core, failing if that core is
+// occupied, inadmissible, offline, or on a drained machine. Supervisors
+// use it to pin a task's first granule onto a known core (e.g. suspect
+// silicon under observation); on error the caller typically falls back to
+// Place.
+func (c *Cluster) PlaceAt(t *Task, ref CoreRef) (CoreRef, error) {
+	if t.ID == "" {
+		return CoreRef{}, fmt.Errorf("sched: task needs an ID")
+	}
+	if _, dup := c.placement[t.ID]; dup {
+		return CoreRef{}, fmt.Errorf("sched: task %q already placed", t.ID)
+	}
+	m := c.machines[ref.Machine]
+	if m == nil {
+		return CoreRef{}, fmt.Errorf("sched: unknown machine %q", ref.Machine)
+	}
+	if m.drained {
+		return CoreRef{}, fmt.Errorf("sched: machine %q is drained", ref.Machine)
+	}
+	if ref.Core < 0 || ref.Core >= len(m.cores) {
+		return CoreRef{}, fmt.Errorf("sched: machine %q has no core %d", ref.Machine, ref.Core)
+	}
+	s := &m.cores[ref.Core]
+	if s.task != "" {
+		return CoreRef{}, fmt.Errorf("sched: core %s occupied by task %q", ref, s.task)
+	}
+	if !admissible(t, s) {
+		return CoreRef{}, fmt.Errorf("sched: core %s (%s) not admissible for task %q",
+			ref, s.state, t.ID)
+	}
+	c.assign(t, ref)
+	return ref, nil
+}
+
+// FindIdle returns the first idle admissible core for t in Place's scan
+// order (healthy before restricted), skipping cores for which avoid
+// returns true. It does not mutate the cluster — supervisors use it to
+// probe for a verifier core without committing a placement.
+func (c *Cluster) FindIdle(t *Task, avoid func(CoreRef) bool) (CoreRef, bool) {
+	for _, wantRestricted := range []bool{false, true} {
+		for _, id := range c.order {
+			m := c.machines[id]
+			if m.drained {
+				continue
+			}
+			for i := range m.cores {
+				s := &m.cores[i]
+				if s.task != "" {
+					continue
+				}
+				if (s.state == CoreRestricted) != wantRestricted {
+					continue
+				}
+				if !admissible(t, s) {
+					continue
+				}
+				ref := CoreRef{Machine: id, Core: i}
+				if avoid != nil && avoid(ref) {
+					continue
+				}
+				return ref, true
+			}
+		}
+	}
+	return CoreRef{}, false
+}
+
+// IdleCores returns every idle admissible core for t in Place's scan
+// order (healthy before restricted). It does not mutate the cluster;
+// supervisors rank the candidates by their own health evidence.
+func (c *Cluster) IdleCores(t *Task) []CoreRef {
+	var out []CoreRef
+	for _, wantRestricted := range []bool{false, true} {
+		for _, id := range c.order {
+			m := c.machines[id]
+			if m.drained {
+				continue
+			}
+			for i := range m.cores {
+				s := &m.cores[i]
+				if s.task != "" {
+					continue
+				}
+				if (s.state == CoreRestricted) != wantRestricted {
+					continue
+				}
+				if !admissible(t, s) {
+					continue
+				}
+				out = append(out, CoreRef{Machine: id, Core: i})
+			}
+		}
+	}
+	return out
+}
+
+// MigrateAvoid evicts the task and re-places it on an admissible core for
+// which avoid returns false — §7's retry-on-a-different-core, where
+// returning to the core that just diverged would be pointless. When every
+// other admissible core is taken it degrades to a plain Migrate (capacity
+// over health: the task may land back where it was). Counts the migration.
+func (c *Cluster) MigrateAvoid(taskID string, avoid func(CoreRef) bool) (CoreRef, error) {
+	cur, ok := c.placement[taskID]
+	if !ok {
+		return CoreRef{}, fmt.Errorf("sched: task %q not placed", taskID)
+	}
+	t := c.tasks[taskID]
+	dst, found := c.FindIdle(t, func(r CoreRef) bool {
+		return r == cur || (avoid != nil && avoid(r))
+	})
+	if !found {
+		return c.Migrate(taskID)
+	}
+	c.remove(taskID)
+	c.Migrations++
+	c.assign(t, dst)
+	return dst, nil
+}
+
 // Lookup returns the placement of a task.
 func (c *Cluster) Lookup(taskID string) (CoreRef, bool) {
 	ref, ok := c.placement[taskID]

@@ -317,3 +317,186 @@ func TestCoreRefString(t *testing.T) {
 		t.Fatalf("CoreRef string = %q", got)
 	}
 }
+
+func TestPlaceAt(t *testing.T) {
+	c := twoMachineCluster(t)
+	want := CoreRef{Machine: "m2", Core: 2}
+	ref, err := c.PlaceAt(&Task{ID: "a"}, want)
+	if err != nil || ref != want {
+		t.Fatalf("PlaceAt = %v, %v", ref, err)
+	}
+	if got, _ := c.Lookup("a"); got != want {
+		t.Fatalf("Lookup = %v, want %v", got, want)
+	}
+	// Occupied, unknown machine, bad core index, duplicate task.
+	if _, err := c.PlaceAt(&Task{ID: "b"}, want); err == nil {
+		t.Fatal("occupied core accepted")
+	}
+	if _, err := c.PlaceAt(&Task{ID: "b"}, CoreRef{Machine: "nope", Core: 0}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := c.PlaceAt(&Task{ID: "b"}, CoreRef{Machine: "m1", Core: 9}); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+	if _, err := c.PlaceAt(&Task{ID: "a"}, CoreRef{Machine: "m1", Core: 0}); err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+	// Offline and restricted-inadmissible cores refuse the pin.
+	c.SetCoreState(CoreRef{Machine: "m1", Core: 0}, CoreOffline, nil)
+	if _, err := c.PlaceAt(&Task{ID: "b"}, CoreRef{Machine: "m1", Core: 0}); err == nil {
+		t.Fatal("offline core accepted")
+	}
+	c.SetCoreState(CoreRef{Machine: "m1", Core: 1}, CoreRestricted, []fault.Unit{fault.UnitALU})
+	if _, err := c.PlaceAt(&Task{ID: "b", Units: []fault.Unit{fault.UnitALU}},
+		CoreRef{Machine: "m1", Core: 1}); err == nil {
+		t.Fatal("banned-unit core accepted")
+	}
+	// Drained machine refuses the pin.
+	c.Drain("m2")
+	if _, err := c.PlaceAt(&Task{ID: "c"}, CoreRef{Machine: "m2", Core: 3}); err == nil {
+		t.Fatal("drained machine accepted")
+	}
+}
+
+func TestFindIdleAndIdleCores(t *testing.T) {
+	c := twoMachineCluster(t)
+	// Occupy the first two cores; FindIdle must skip them without
+	// mutating anything.
+	c.Place(&Task{ID: "a"})
+	c.Place(&Task{ID: "b"})
+	ref, ok := c.FindIdle(&Task{ID: "probe"}, nil)
+	if !ok || ref != (CoreRef{Machine: "m1", Core: 2}) {
+		t.Fatalf("FindIdle = %v, %v", ref, ok)
+	}
+	if got := c.TaskOn(ref); got != "" {
+		t.Fatalf("FindIdle placed something: %q", got)
+	}
+	// avoid skips candidates.
+	ref, ok = c.FindIdle(&Task{ID: "probe"}, func(r CoreRef) bool { return r.Machine == "m1" })
+	if !ok || ref.Machine != "m2" {
+		t.Fatalf("FindIdle with avoid = %v, %v", ref, ok)
+	}
+	// IdleCores lists all six idle slots in scan order.
+	idle := c.IdleCores(&Task{ID: "probe"})
+	if len(idle) != 6 || idle[0] != (CoreRef{Machine: "m1", Core: 2}) {
+		t.Fatalf("IdleCores = %v", idle)
+	}
+	// Healthy cores come before restricted ones for an admissible task.
+	c.SetCoreState(CoreRef{Machine: "m1", Core: 2}, CoreRestricted, []fault.Unit{fault.UnitVec})
+	idle = c.IdleCores(&Task{ID: "probe"})
+	if idle[len(idle)-1] != (CoreRef{Machine: "m1", Core: 2}) {
+		t.Fatalf("restricted core not last: %v", idle)
+	}
+	// Nothing admissible: not found.
+	if _, ok := c.FindIdle(&Task{ID: "probe", Units: []fault.Unit{fault.UnitVec}},
+		func(CoreRef) bool { return true }); ok {
+		t.Fatal("FindIdle found a core while avoiding all")
+	}
+}
+
+func TestMigrateAvoid(t *testing.T) {
+	c := twoMachineCluster(t)
+	c.Place(&Task{ID: "a"}) // m1/0
+	bad := CoreRef{Machine: "m1", Core: 0}
+	ref, err := c.MigrateAvoid("a", func(r CoreRef) bool { return r == bad })
+	if err != nil || ref == bad {
+		t.Fatalf("MigrateAvoid = %v, %v", ref, err)
+	}
+	if c.Migrations != 1 {
+		t.Fatalf("Migrations = %d", c.Migrations)
+	}
+	if _, err := c.MigrateAvoid("ghost", nil); err == nil {
+		t.Fatal("unplaced task accepted")
+	}
+	// With every other core offline, MigrateAvoid degrades to a plain
+	// migrate and may return to the avoided core rather than fail.
+	solo := NewCluster()
+	solo.AddMachine("m", 2)
+	solo.SetCoreState(CoreRef{Machine: "m", Core: 1}, CoreOffline, nil)
+	solo.Place(&Task{ID: "t"}) // m/0
+	only := CoreRef{Machine: "m", Core: 0}
+	ref, err = solo.MigrateAvoid("t", func(r CoreRef) bool { return r == only })
+	if err != nil || ref != only {
+		t.Fatalf("degraded MigrateAvoid = %v, %v (want back on %v)", ref, err, only)
+	}
+}
+
+// TestChurnExactlyOnceAcrossSeeds quarantines cores while a queue of
+// tasks drains through the cluster: every task must finish exactly once —
+// evictions are re-placed, never lost, never duplicated — across 20
+// seeds of churn order.
+func TestChurnExactlyOnceAcrossSeeds(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		c := NewCluster()
+		for m := 0; m < 3; m++ {
+			if _, err := c.AddMachine(fmt.Sprintf("m%d", m), 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const tasks = 30
+		finished := map[string]int{}
+		queue := make([]*Task, 0, tasks)
+		for i := 0; i < tasks; i++ {
+			queue = append(queue, &Task{ID: fmt.Sprintf("t%d", i)})
+		}
+		running := map[string]bool{}
+		next := 0
+		step := 0
+		for len(finished) < tasks {
+			step++
+			if step > 10000 {
+				t.Fatalf("seed %d: livelock, finished %d/%d", seed, len(finished), tasks)
+			}
+			// Fill idle capacity.
+			for next < len(queue) {
+				if _, err := c.Place(queue[next]); err != nil {
+					break
+				}
+				running[queue[next].ID] = true
+				next++
+			}
+			// Churn: quarantine the core under a deterministic
+			// seed-dependent running task, evicting it mid-run.
+			if step%3 == 0 && len(running) > 0 {
+				victim := queue[(seed*7+step)%next].ID
+				if ref, ok := c.Lookup(victim); ok {
+					evicted, err := c.SetCoreState(ref, CoreOffline, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if evicted != nil {
+						// Re-place the evicted task; if capacity ran
+						// out, undo some quarantine first.
+						if _, err := c.Place(evicted); err != nil {
+							c.SetCoreState(ref, CoreHealthy, nil)
+							if _, err := c.Place(evicted); err != nil {
+								t.Fatalf("seed %d: lost task %s: %v", seed, evicted.ID, err)
+							}
+						}
+					}
+				}
+			}
+			// Finish one running task per step, in deterministic order.
+			for _, id := range c.PlacedTasks() {
+				if running[id] {
+					c.Finish(id)
+					delete(running, id)
+					finished[id]++
+					break
+				}
+			}
+		}
+		for i := 0; i < tasks; i++ {
+			id := fmt.Sprintf("t%d", i)
+			if finished[id] != 1 {
+				t.Fatalf("seed %d: task %s finished %d times, want exactly once",
+					seed, id, finished[id])
+			}
+		}
+		// Nothing may still be placed, and no placement ever leaked onto
+		// an offline core (Place/PlaceAt guard admission).
+		if got := c.PlacedTasks(); len(got) != 0 {
+			t.Fatalf("seed %d: leftover placements %v", seed, got)
+		}
+	}
+}
