@@ -241,6 +241,15 @@ func SampleDefect(id string, rng *xrand.RNG) Defect {
 	return last.Sample(id, rng)
 }
 
+// ClassNames returns every catalog class name, in catalog order.
+func ClassNames() []string {
+	out := make([]string, len(Catalog))
+	for i, c := range Catalog {
+		out[i] = c.Name
+	}
+	return out
+}
+
 // ClassByName returns the catalog entry with the given name.
 func ClassByName(name string) (ClassSpec, error) {
 	for _, c := range Catalog {

@@ -21,6 +21,7 @@ package fault
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/simtime"
 	"repro/internal/xrand"
@@ -51,6 +52,18 @@ func (u Unit) String() string {
 		return fmt.Sprintf("Unit(%d)", int(u))
 	}
 	return unitNames[u]
+}
+
+// UnitByName returns the unit with the given name (as produced by
+// Unit.String, case-insensitive) — the inverse lookup scenario decoders
+// and triage tools use.
+func UnitByName(name string) (Unit, error) {
+	for u, n := range unitNames {
+		if strings.EqualFold(n, name) {
+			return Unit(u), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown unit %q (have %s)", name, strings.Join(unitNames[:], ", "))
 }
 
 // OpClass identifies an operation class routed through an execution unit.
@@ -194,6 +207,18 @@ func (k CorruptionKind) String() string {
 		return fmt.Sprintf("CorruptionKind(%d)", int(k))
 	}
 	return corruptionNames[k]
+}
+
+// KindByName returns the corruption kind with the given name (as produced
+// by CorruptionKind.String, case-insensitive).
+func KindByName(name string) (CorruptionKind, error) {
+	for k, n := range corruptionNames {
+		if strings.EqualFold(n, name) {
+			return CorruptionKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown corruption kind %q (have %s)",
+		name, strings.Join(corruptionNames[:], ", "))
 }
 
 // Defect describes one manufacturing defect. A core may carry several, but

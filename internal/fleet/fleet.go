@@ -308,11 +308,11 @@ type Fleet struct {
 	rng         *xrand.RNG
 	parallelism int
 	machines    []*Machine
-	defects  []*DefectSite
-	server   *report.Server
-	cluster  *sched.Cluster
-	manager  *quarantine.Manager
-	allWork  []corpus.Workload
+	defects     []*DefectSite
+	server      *report.Server
+	cluster     *sched.Cluster
+	manager     *quarantine.Manager
+	allWork     []corpus.Workload
 	// Truth and detection ledgers.
 	Triage TriageStats
 	// quarantineDay maps core ref to the day it was isolated.
@@ -348,6 +348,9 @@ type Fleet struct {
 	taskSup   *taskrun.Supervisor
 	trSignals []detect.Signal
 	trNow     simtime.Time
+	// point is the fleet-wide operating point (see SetOperatingPoint);
+	// materialized cores carry their own copy.
+	point fault.OperatingPoint
 }
 
 // New builds the fleet population deterministically from cfg.
@@ -368,6 +371,7 @@ func New(cfg Config) *Fleet {
 		cfg:           cfg,
 		rng:           xrand.New(cfg.Seed),
 		parallelism:   DefaultParallelism(),
+		point:         fault.Nominal,
 		server:        report.NewServer(cfg.CoresPerMachine),
 		cluster:       sched.NewCluster(),
 		allWork:       corpus.All(),

@@ -106,7 +106,10 @@ func (f *Fleet) Step() DayStats {
 	jobs := make([]siteJob, 0, len(f.defects))
 	for _, site := range f.defects {
 		m := f.machineByID(site.Machine)
-		if m.drained || m.quarantined[site.Core] {
+		// Repaired sites keep their ledger entry but the silicon is gone:
+		// without this skip a repaired core's ghost kept corrupting (and
+		// spamming signals a healthy-core confession could never confirm).
+		if site.Repaired || m.drained || m.quarantined[site.Core] {
 			continue
 		}
 		core := site.Site

@@ -1,0 +1,381 @@
+package scenario
+
+// End-state assertions turn a scenario into a regression test: after the
+// run, named quantities derived from the daily telemetry, the detection
+// report, the triage ledger, and the quarantine ledger are checked
+// against declared ranges, specific cores are required to be in (or out
+// of) quarantine, and metrics-registry series can be pinned too. Every
+// failure message carries the file:line of the assertion that failed.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Range bounds one quantity. A bare scalar in the file means Min == Max.
+type Range struct {
+	Min, Max *float64
+	Line     int
+}
+
+func (r Range) check(name string, v float64) string {
+	if r.Min != nil && v < *r.Min {
+		return fmt.Sprintf("%s = %s, want >= %s", name, fmtNum(v), fmtNum(*r.Min))
+	}
+	if r.Max != nil && v > *r.Max {
+		return fmt.Sprintf("%s = %s, want <= %s", name, fmtNum(v), fmtNum(*r.Max))
+	}
+	return ""
+}
+
+func fmtNum(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// MetricAssert bounds one metrics-registry series (summed over every
+// series of the family whose labels are a superset of Labels). Counters
+// and gauges contribute their value, histograms their observation count.
+type MetricAssert struct {
+	Name   string
+	Labels map[string]string
+	Range  Range
+	Line   int
+}
+
+// CoreAssert requires a specific core to be present in (or absent from)
+// the final quarantine ledger.
+type CoreAssert struct {
+	Machine string
+	Core    int
+	Line    int
+}
+
+// Assertions is the decoded assert section.
+type Assertions struct {
+	// Quantities maps assertable-quantity names (see Quantities) to
+	// their declared ranges, in file order.
+	Quantities []QuantityAssert
+	// QuarantinedCores must appear in the final ledger.
+	QuarantinedCores []CoreAssert
+	// NotQuarantinedCores must NOT appear in the final ledger.
+	NotQuarantinedCores []CoreAssert
+	Metrics             []MetricAssert
+}
+
+// QuantityAssert is one named-quantity range.
+type QuantityAssert struct {
+	Name  string
+	Range Range
+}
+
+// Empty reports whether the scenario declares no assertions at all.
+func (a Assertions) Empty() bool {
+	return len(a.Quantities) == 0 && len(a.QuarantinedCores) == 0 &&
+		len(a.NotQuarantinedCores) == 0 && len(a.Metrics) == 0
+}
+
+// quantities maps every assertable name to its extractor. The names are
+// the public assertion vocabulary, documented in DESIGN.md §10.
+var quantities = map[string]func(*Result) float64{
+	// Ground truth and signal flow (summed over the run).
+	"corruptions":       func(r *Result) float64 { return float64(r.totals.Corruptions) },
+	"auto_reports":      func(r *Result) float64 { return float64(r.totals.AutoReports) },
+	"user_reports":      func(r *Result) float64 { return float64(r.totals.UserReports) },
+	"screen_detections": func(r *Result) float64 { return float64(r.totals.ScreenDetections) },
+	"quarantined":       func(r *Result) float64 { return float64(r.totals.NewQuarantines) },
+	"repairs":           func(r *Result) float64 { return float64(r.totals.RepairsDone) },
+	// End-of-run state.
+	"active_defects_end": func(r *Result) float64 {
+		if len(r.Days) == 0 {
+			return 0
+		}
+		return float64(r.Days[len(r.Days)-1].ActiveDefects)
+	},
+	// Detection report (ground truth vs quarantine ledger).
+	"defective":         func(r *Result) float64 { return float64(r.Detection.TotalDefective) },
+	"past_onset":        func(r *Result) float64 { return float64(r.Detection.PastOnset) },
+	"true_positive":     func(r *Result) float64 { return float64(r.Detection.TruePositive) },
+	"false_positive":    func(r *Result) float64 { return float64(r.Detection.FalsePositive) },
+	"detected_fraction": func(r *Result) float64 { return r.Detection.DetectedFraction() },
+	"mean_latency_days": func(r *Result) float64 { return r.Detection.MeanLatencyDays() },
+	// Human-triage ledger.
+	"investigated":        func(r *Result) float64 { return float64(r.Triage.Investigated) },
+	"triage_confirmed":    func(r *Result) float64 { return float64(r.Triage.Confirmed) },
+	"false_accusations":   func(r *Result) float64 { return float64(r.Triage.FalseAccusations) },
+	"real_not_reproduced": func(r *Result) float64 { return float64(r.Triage.RealNotReproduced) },
+	// Tolerant-kvdb workload.
+	"kv_reads":    func(r *Result) float64 { return float64(r.totals.KVReads) },
+	"kv_retries":  func(r *Result) float64 { return float64(r.totals.KVRetries) },
+	"kv_repairs":  func(r *Result) float64 { return float64(r.totals.KVRepairs) },
+	"kv_degraded": func(r *Result) float64 { return float64(r.totals.KVDegraded) },
+	"kv_errors":   func(r *Result) float64 { return float64(r.totals.KVErrors) },
+	// Checkpoint/retry workload.
+	"tr_granules":   func(r *Result) float64 { return float64(r.totals.TRGranules) },
+	"tr_retries":    func(r *Result) float64 { return float64(r.totals.TRRetries) },
+	"tr_migrations": func(r *Result) float64 { return float64(r.totals.TRMigrations) },
+	"tr_restores":   func(r *Result) float64 { return float64(r.totals.TRRestores) },
+	"tr_signals":    func(r *Result) float64 { return float64(r.totals.TRSignals) },
+	"tr_failures":   func(r *Result) float64 { return float64(r.totals.TRFailures) },
+}
+
+// QuantityNames returns the assertable quantity vocabulary, sorted.
+func QuantityNames() []string {
+	out := make([]string, 0, len(quantities))
+	for k := range quantities {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- decoding ----
+
+func (d *decoder) assertions(m *node) Assertions {
+	var a Assertions
+	for _, key := range m.keys {
+		child := m.children[key]
+		switch key {
+		case "quarantined_cores":
+			a.QuarantinedCores = d.coreList(child, key)
+		case "not_quarantined_cores":
+			a.NotQuarantinedCores = d.coreList(child, key)
+		case "metrics":
+			if child.kind != nSeq {
+				d.errf(child.line, "assert.metrics must be a sequence")
+				continue
+			}
+			for _, item := range child.items {
+				if ma, ok := d.metricAssert(item); ok {
+					a.Metrics = append(a.Metrics, ma)
+				}
+			}
+		default:
+			if _, known := quantities[key]; !known {
+				d.errf(m.keyLine(key), "unknown assertion %q (known: %s, quarantined_cores, not_quarantined_cores, metrics)",
+					key, strings.Join(QuantityNames(), ", "))
+				continue
+			}
+			if rng, ok := d.rangeVal(child, "assert."+key); ok {
+				a.Quantities = append(a.Quantities, QuantityAssert{Name: key, Range: rng})
+			}
+		}
+	}
+	return a
+}
+
+// rangeVal decodes {min: x, max: y} or a bare scalar (exact value).
+func (d *decoder) rangeVal(n *node, what string) (Range, bool) {
+	switch n.kind {
+	case nScalar:
+		v, ok := d.floatNode(n, what)
+		if !ok {
+			return Range{}, false
+		}
+		return Range{Min: &v, Max: &v, Line: n.line}, true
+	case nMap:
+		d.known(n, what, "min", "max")
+		r := Range{Line: n.line}
+		r.Min = d.optFloat(n, "min", what)
+		r.Max = d.optFloat(n, "max", what)
+		if r.Min == nil && r.Max == nil {
+			d.errf(n.line, "%s needs min and/or max", what)
+			return Range{}, false
+		}
+		if r.Min != nil && r.Max != nil && *r.Min > *r.Max {
+			d.errf(n.line, "%s: min %g > max %g", what, *r.Min, *r.Max)
+			return Range{}, false
+		}
+		return r, true
+	}
+	d.errf(lineOf(n), "%s must be a number or {min, max}", what)
+	return Range{}, false
+}
+
+func (d *decoder) floatNode(n *node, what string) (float64, bool) {
+	v, err := strconv.ParseFloat(n.text, 64)
+	if err != nil {
+		d.errf(n.line, "%s: %q is not a number", what, n.text)
+		return 0, false
+	}
+	return v, true
+}
+
+func (d *decoder) coreList(n *node, what string) []CoreAssert {
+	if n.kind != nSeq {
+		d.errf(lineOf(n), "assert.%s must be a sequence of \"mNNNNN/core\" strings", what)
+		return nil
+	}
+	var out []CoreAssert
+	for _, item := range n.items {
+		if item.kind != nScalar {
+			d.errf(item.line, "assert.%s entries must be \"mNNNNN/core\" strings", what)
+			continue
+		}
+		ca, err := parseCoreRef(item.text)
+		if err != nil {
+			d.errf(item.line, "assert.%s: %v", what, err)
+			continue
+		}
+		ca.Line = item.line
+		out = append(out, ca)
+	}
+	return out
+}
+
+func parseCoreRef(s string) (CoreAssert, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return CoreAssert{}, fmt.Errorf("core ref %q must look like m00017/3", s)
+	}
+	machine, coreStr := s[:slash], s[slash+1:]
+	if _, err := parseMachineID(machine); err != nil {
+		return CoreAssert{}, err
+	}
+	var core int
+	if _, err := fmt.Sscanf(coreStr, "%d", &core); err != nil || core < 0 {
+		return CoreAssert{}, fmt.Errorf("core ref %q must look like m00017/3", s)
+	}
+	return CoreAssert{Machine: machine, Core: core}, nil
+}
+
+func (d *decoder) metricAssert(n *node) (MetricAssert, bool) {
+	m := d.asMap(n, "assert.metrics entry")
+	if m == nil {
+		return MetricAssert{}, false
+	}
+	d.known(m, "assert.metrics entry", "name", "labels", "min", "max")
+	ma := MetricAssert{Line: m.line, Range: Range{Line: m.line}}
+	ma.Name, _ = d.str(m, "name", "assert.metrics")
+	if ma.Name == "" {
+		d.errf(m.line, "assert.metrics entry needs a name")
+		return ma, false
+	}
+	if ln := m.child("labels"); ln != nil {
+		lm := d.asMap(ln, "assert.metrics labels")
+		if lm == nil {
+			return ma, false
+		}
+		ma.Labels = map[string]string{}
+		for _, k := range lm.keys {
+			v := lm.children[k]
+			if v.kind != nScalar {
+				d.errf(v.line, "assert.metrics label %q must be a string", k)
+				continue
+			}
+			ma.Labels[k] = v.text
+		}
+	}
+	ma.Range.Min = d.optFloat(m, "min", "assert.metrics")
+	ma.Range.Max = d.optFloat(m, "max", "assert.metrics")
+	if ma.Range.Min == nil && ma.Range.Max == nil {
+		d.errf(m.line, "assert.metrics entry needs min and/or max")
+		return ma, false
+	}
+	return ma, true
+}
+
+// ---- checking ----
+
+// Check evaluates every assertion against a finished run and returns one
+// message per failure (empty = all passed). Messages are prefixed with
+// the scenario file and the assertion's line.
+func (s *Scenario) Check(res *Result) []string {
+	var fails []string
+	at := func(line int, msg string) {
+		fails = append(fails, fmt.Sprintf("%s:%d: %s", s.File, line, msg))
+	}
+	for _, q := range s.Assert.Quantities {
+		v := quantities[q.Name](res)
+		if msg := q.Range.check(q.Name, v); msg != "" {
+			at(q.Range.Line, msg)
+		}
+	}
+	inLedger := map[string]bool{}
+	for _, rec := range res.Records {
+		inLedger[fmt.Sprintf("%s/%d", rec.Ref.Machine, rec.Ref.Core)] = true
+	}
+	for _, ca := range s.Assert.QuarantinedCores {
+		key := fmt.Sprintf("%s/%d", ca.Machine, ca.Core)
+		if !inLedger[key] {
+			at(ca.Line, fmt.Sprintf("core %s not in the final quarantine ledger", key))
+		}
+	}
+	for _, ca := range s.Assert.NotQuarantinedCores {
+		key := fmt.Sprintf("%s/%d", ca.Machine, ca.Core)
+		if inLedger[key] {
+			at(ca.Line, fmt.Sprintf("core %s unexpectedly in the final quarantine ledger", key))
+		}
+	}
+	for _, ma := range s.Assert.Metrics {
+		v, found := metricValue(res.Snapshot, ma.Name, ma.Labels)
+		if !found {
+			at(ma.Line, fmt.Sprintf("metric %s%s not found in registry", ma.Name, labelStr(ma.Labels)))
+			continue
+		}
+		if msg := ma.Range.check(ma.Name+labelStr(ma.Labels), v); msg != "" {
+			at(ma.Line, msg)
+		}
+	}
+	return fails
+}
+
+func labelStr(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// metricValue sums every series of family name whose labels are a
+// superset of want. Counters and gauges contribute Value, histograms
+// their observation Count.
+func metricValue(snap []obs.SeriesSnapshot, name string, want map[string]string) (float64, bool) {
+	var (
+		sum   float64
+		found bool
+	)
+	for _, s := range snap {
+		if s.Name != name || !labelsMatch(s.Labels, want) {
+			continue
+		}
+		found = true
+		if s.Kind == "histogram" {
+			sum += float64(s.Count)
+		} else {
+			sum += s.Value
+		}
+	}
+	return sum, found
+}
+
+func labelsMatch(have []obs.Label, want map[string]string) bool {
+	for k, v := range want {
+		ok := false
+		for _, l := range have {
+			if l.Key == k && l.Value == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,691 @@
+package scenario
+
+// A dependency-free parser for the YAML subset scenarios are written in.
+// The subset is deliberately small — block mappings and sequences by
+// indentation, flow mappings/sequences ({...}, [...]) which make every
+// JSON document valid input, quoted and bare scalars, and # comments —
+// but every node carries its source line so schema errors point at the
+// offending line, not just the file.
+//
+// Unsupported YAML (anchors, aliases, tags, multi-document streams,
+// block scalars |/>) is rejected with an error rather than misparsed.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type nodeKind int
+
+const (
+	nScalar nodeKind = iota
+	nMap
+	nSeq
+	nNull
+)
+
+// node is one parse-tree vertex. Scalars keep their raw text; typing
+// (int/float/bool) happens at decode time so error messages can show the
+// original spelling.
+type node struct {
+	kind nodeKind
+	line int
+	// Scalar state. quoted marks explicitly-quoted scalars (always
+	// strings, never null).
+	text   string
+	quoted bool
+	// Mapping state: insertion-ordered keys.
+	keys     []string
+	children map[string]*node
+	keyLines map[string]int
+	// Sequence state.
+	items []*node
+}
+
+func (n *node) child(key string) *node {
+	if n == nil || n.kind != nMap {
+		return nil
+	}
+	return n.children[key]
+}
+
+func (n *node) keyLine(key string) int {
+	if l, ok := n.keyLines[key]; ok {
+		return l
+	}
+	return n.line
+}
+
+func newMapNode(line int) *node {
+	return &node{kind: nMap, line: line, children: map[string]*node{}, keyLines: map[string]int{}}
+}
+
+// srcLine is one non-blank, non-comment source line.
+type srcLine struct {
+	no     int
+	indent int
+	text   string // content after indentation, trailing newline removed
+}
+
+type parser struct {
+	name  string
+	lines []srcLine
+	pos   int
+}
+
+func (p *parser) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", p.name, line, fmt.Sprintf(format, args...))
+}
+
+// parseDocument parses one scenario document (YAML subset or JSON).
+func parseDocument(name string, data []byte) (*node, error) {
+	p := &parser{name: name}
+	for i, raw := range strings.Split(string(data), "\n") {
+		ln := strings.TrimRight(raw, "\r")
+		indent := 0
+		for indent < len(ln) && ln[indent] == ' ' {
+			indent++
+		}
+		if indent < len(ln) && ln[indent] == '\t' {
+			return nil, p.errf(i+1, "tab in indentation (use spaces)")
+		}
+		rest := strings.TrimRight(ln[indent:], " \t")
+		if rest == "" || strings.HasPrefix(rest, "#") {
+			continue
+		}
+		if len(p.lines) == 0 && rest == "---" {
+			continue // document-start marker
+		}
+		p.lines = append(p.lines, srcLine{no: i + 1, indent: indent, text: rest})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("%s: empty document", name)
+	}
+	var (
+		n   *node
+		err error
+	)
+	if c := p.lines[0].text[0]; c == '{' || c == '[' {
+		ln := p.next()
+		n, err = p.parseFlow(ln.no, cutComment(ln.text))
+	} else {
+		n, err = p.parseBlock(0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, p.errf(p.lines[p.pos].no, "unexpected content after document")
+	}
+	return n, nil
+}
+
+func (p *parser) peek() (srcLine, bool) {
+	if p.pos >= len(p.lines) {
+		return srcLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+func (p *parser) next() srcLine {
+	ln := p.lines[p.pos]
+	p.pos++
+	return ln
+}
+
+// pushBack re-inserts a synthetic line at the cursor — used for compact
+// sequence items ("- key: value"), whose content parses as a mapping
+// starting in the middle of the dash line.
+func (p *parser) pushBack(ln srcLine) {
+	p.lines = append(p.lines, srcLine{})
+	copy(p.lines[p.pos+1:], p.lines[p.pos:])
+	p.lines[p.pos] = ln
+}
+
+func (p *parser) lastLine() int {
+	if p.pos == 0 {
+		return 1
+	}
+	return p.lines[p.pos-1].no
+}
+
+// parseBlock parses the value nested under a key or dash: a mapping or
+// sequence indented at least minIndent, or null when nothing qualifies.
+func (p *parser) parseBlock(minIndent int) (*node, error) {
+	ln, ok := p.peek()
+	if !ok || ln.indent < minIndent {
+		return &node{kind: nNull, line: p.lastLine()}, nil
+	}
+	if isDashLine(ln.text) {
+		return p.parseSeq(ln.indent)
+	}
+	return p.parseMap(ln.indent)
+}
+
+func isDashLine(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *parser) parseMap(indent int) (*node, error) {
+	first, _ := p.peek()
+	n := newMapNode(first.no)
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, p.errf(ln.no, "unexpected indentation (expected %d spaces, got %d)", indent, ln.indent)
+		}
+		content := cutComment(ln.text)
+		if content == "" { // line was only a comment after indentation
+			p.next()
+			continue
+		}
+		if isDashLine(content) {
+			return nil, p.errf(ln.no, "sequence item not allowed here (expected 'key: value')")
+		}
+		key, rest, ok2, err := splitKey(content)
+		if err != nil {
+			return nil, p.errf(ln.no, "%v", err)
+		}
+		if !ok2 {
+			return nil, p.errf(ln.no, "expected 'key: value', got %q", content)
+		}
+		if _, dup := n.children[key]; dup {
+			return nil, p.errf(ln.no, "duplicate key %q (first on line %d)", key, n.keyLines[key])
+		}
+		p.next()
+		val, err := p.parseValue(ln, rest, indent)
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, key)
+		n.children[key] = val
+		n.keyLines[key] = ln.no
+	}
+	return n, nil
+}
+
+// parseValue parses what follows "key:" on line ln: an inline scalar or
+// flow collection, or — when rest is empty — a nested block.
+func (p *parser) parseValue(ln srcLine, rest string, indent int) (*node, error) {
+	if rest == "" {
+		if nxt, ok := p.peek(); ok && nxt.indent == indent && isDashLine(nxt.text) {
+			// A sequence may sit at the same indent as its key.
+			return p.parseSeq(indent)
+		}
+		return p.parseBlock(indent + 1)
+	}
+	switch rest[0] {
+	case '{', '[':
+		return p.parseFlow(ln.no, rest)
+	case '|', '>':
+		return nil, p.errf(ln.no, "block scalars (%q) are not supported", rest[:1])
+	case '&', '*':
+		return nil, p.errf(ln.no, "anchors and aliases are not supported")
+	}
+	return p.scalarNode(ln.no, rest)
+}
+
+func (p *parser) parseSeq(indent int) (*node, error) {
+	first, _ := p.peek()
+	n := &node{kind: nSeq, line: first.no}
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.indent != indent {
+			break
+		}
+		content := cutComment(ln.text)
+		if !isDashLine(content) {
+			break
+		}
+		p.next()
+		if content == "-" {
+			item, err := p.parseBlock(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+			continue
+		}
+		rest := content[2:]
+		extra := 0
+		for extra < len(rest) && rest[extra] == ' ' {
+			extra++
+		}
+		rest = rest[extra:]
+		itemIndent := indent + 2 + extra
+		var (
+			item *node
+			err  error
+		)
+		switch {
+		case rest[0] == '{' || rest[0] == '[':
+			item, err = p.parseFlow(ln.no, rest)
+		case isDashLine(rest):
+			err = p.errf(ln.no, "nested inline sequences are not supported")
+		default:
+			if _, _, isKV, kerr := splitKey(rest); kerr == nil && isKV {
+				// Compact mapping: the first entry starts on the dash line.
+				p.pushBack(srcLine{no: ln.no, indent: itemIndent, text: rest})
+				item, err = p.parseMap(itemIndent)
+			} else {
+				item, err = p.scalarNode(ln.no, rest)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// scalarNode builds a scalar (or null) node from inline text.
+func (p *parser) scalarNode(line int, text string) (*node, error) {
+	val, quoted, err := unquoteScalar(text)
+	if err != nil {
+		return nil, p.errf(line, "%v", err)
+	}
+	if !quoted && (val == "null" || val == "~" || val == "") {
+		return &node{kind: nNull, line: line}, nil
+	}
+	return &node{kind: nScalar, line: line, text: val, quoted: quoted}, nil
+}
+
+// ---- flow (JSON-style) collections ----
+
+// parseFlow parses a flow collection that starts on line startNo with
+// firstFrag and may continue over subsequent source lines until brackets
+// balance (which is what makes multi-line JSON documents parse).
+func (p *parser) parseFlow(startNo int, firstFrag string) (*node, error) {
+	var (
+		buf    []byte
+		lineOf []int
+		inS    bool
+		inD    bool
+		esc    bool
+		depth  int
+	)
+	appendFrag := func(frag string, no int) (done bool, err error) {
+		for i := 0; i < len(frag); i++ {
+			c := frag[i]
+			buf = append(buf, c)
+			lineOf = append(lineOf, no)
+			switch {
+			case esc:
+				esc = false
+			case inD:
+				if c == '\\' {
+					esc = true
+				} else if c == '"' {
+					inD = false
+				}
+			case inS:
+				if c == '\'' {
+					inS = false
+				}
+			case c == '"':
+				inD = true
+			case c == '\'':
+				inS = true
+			case c == '{' || c == '[':
+				depth++
+			case c == '}' || c == ']':
+				depth--
+				if depth == 0 {
+					if rest := strings.TrimSpace(frag[i+1:]); rest != "" {
+						return false, p.errf(no, "unexpected content after flow value: %q", rest)
+					}
+					return true, nil
+				}
+				if depth < 0 {
+					return false, p.errf(no, "unbalanced %q in flow value", string(c))
+				}
+			}
+		}
+		return false, nil
+	}
+	done, err := appendFrag(firstFrag, startNo)
+	if err != nil {
+		return nil, err
+	}
+	for !done {
+		ln, ok := p.peek()
+		if !ok {
+			return nil, p.errf(startNo, "unterminated flow value (missing closing bracket)")
+		}
+		p.next()
+		buf = append(buf, ' ')
+		lineOf = append(lineOf, ln.no)
+		frag := ln.text
+		if !inS && !inD {
+			frag = cutComment(frag)
+		}
+		if done, err = appendFrag(frag, ln.no); err != nil {
+			return nil, err
+		}
+	}
+	fp := &flowParser{name: p.name, buf: buf, lineOf: lineOf}
+	n, err := fp.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	fp.skipSpace()
+	if fp.pos < len(fp.buf) {
+		return nil, fp.errf("unexpected content after flow value")
+	}
+	return n, nil
+}
+
+type flowParser struct {
+	name   string
+	buf    []byte
+	lineOf []int
+	pos    int
+}
+
+func (f *flowParser) line() int {
+	if f.pos < len(f.lineOf) {
+		return f.lineOf[f.pos]
+	}
+	if len(f.lineOf) > 0 {
+		return f.lineOf[len(f.lineOf)-1]
+	}
+	return 1
+}
+
+func (f *flowParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", f.name, f.line(), fmt.Sprintf(format, args...))
+}
+
+func (f *flowParser) skipSpace() {
+	for f.pos < len(f.buf) && (f.buf[f.pos] == ' ' || f.buf[f.pos] == '\t') {
+		f.pos++
+	}
+}
+
+func (f *flowParser) parseValue() (*node, error) {
+	f.skipSpace()
+	if f.pos >= len(f.buf) {
+		return nil, f.errf("expected a value")
+	}
+	switch f.buf[f.pos] {
+	case '{':
+		return f.parseMap()
+	case '[':
+		return f.parseSeq()
+	}
+	return f.parseScalar(false)
+}
+
+func (f *flowParser) parseMap() (*node, error) {
+	n := newMapNode(f.line())
+	f.pos++ // '{'
+	for {
+		f.skipSpace()
+		if f.pos >= len(f.buf) {
+			return nil, f.errf("unterminated flow mapping")
+		}
+		if f.buf[f.pos] == '}' {
+			f.pos++
+			return n, nil
+		}
+		keyLine := f.line()
+		keyNode, err := f.parseScalar(true)
+		if err != nil {
+			return nil, err
+		}
+		if keyNode.kind == nNull || keyNode.text == "" {
+			return nil, f.errf("expected a mapping key")
+		}
+		key := keyNode.text
+		f.skipSpace()
+		if f.pos >= len(f.buf) || f.buf[f.pos] != ':' {
+			return nil, f.errf("expected ':' after key %q", key)
+		}
+		f.pos++
+		val, err := f.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.children[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate key %q", f.name, keyLine, key)
+		}
+		n.keys = append(n.keys, key)
+		n.children[key] = val
+		n.keyLines[key] = keyLine
+		f.skipSpace()
+		if f.pos < len(f.buf) && f.buf[f.pos] == ',' {
+			f.pos++
+			continue
+		}
+		if f.pos < len(f.buf) && f.buf[f.pos] == '}' {
+			f.pos++
+			return n, nil
+		}
+		return nil, f.errf("expected ',' or '}' in flow mapping")
+	}
+}
+
+func (f *flowParser) parseSeq() (*node, error) {
+	n := &node{kind: nSeq, line: f.line()}
+	f.pos++ // '['
+	for {
+		f.skipSpace()
+		if f.pos >= len(f.buf) {
+			return nil, f.errf("unterminated flow sequence")
+		}
+		if f.buf[f.pos] == ']' {
+			f.pos++
+			return n, nil
+		}
+		item, err := f.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+		f.skipSpace()
+		if f.pos < len(f.buf) && f.buf[f.pos] == ',' {
+			f.pos++
+			continue
+		}
+		if f.pos < len(f.buf) && f.buf[f.pos] == ']' {
+			f.pos++
+			return n, nil
+		}
+		return nil, f.errf("expected ',' or ']' in flow sequence")
+	}
+}
+
+// parseScalar reads a quoted or bare scalar. asKey additionally stops a
+// bare scalar at ':'.
+func (f *flowParser) parseScalar(asKey bool) (*node, error) {
+	f.skipSpace()
+	line := f.line()
+	if f.pos >= len(f.buf) {
+		return nil, f.errf("expected a value")
+	}
+	if q := f.buf[f.pos]; q == '"' || q == '\'' {
+		start := f.pos
+		f.pos++
+		for f.pos < len(f.buf) {
+			c := f.buf[f.pos]
+			if q == '"' && c == '\\' {
+				f.pos += 2
+				continue
+			}
+			if c == q {
+				if q == '\'' && f.pos+1 < len(f.buf) && f.buf[f.pos+1] == '\'' {
+					f.pos += 2 // escaped single quote
+					continue
+				}
+				f.pos++
+				text, _, err := unquoteScalar(string(f.buf[start:f.pos]))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", f.name, line, err)
+				}
+				return &node{kind: nScalar, line: line, text: text, quoted: true}, nil
+			}
+			f.pos++
+		}
+		return nil, fmt.Errorf("%s:%d: unterminated quoted string", f.name, line)
+	}
+	start := f.pos
+	for f.pos < len(f.buf) {
+		c := f.buf[f.pos]
+		if c == ',' || c == '}' || c == ']' || (asKey && c == ':') {
+			break
+		}
+		f.pos++
+	}
+	text := strings.TrimSpace(string(f.buf[start:f.pos]))
+	if text == "null" || text == "~" || text == "" {
+		return &node{kind: nNull, line: line}, nil
+	}
+	return &node{kind: nScalar, line: line, text: text}, nil
+}
+
+// ---- lexical helpers ----
+
+// cutComment removes a trailing "# ..." comment that is outside quotes
+// and preceded by whitespace (or at the start of the content).
+func cutComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inD:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inD = false
+			}
+		case inS:
+			if c == '\'' {
+				inS = false
+			}
+		case c == '"':
+			inD = true
+		case c == '\'':
+			inS = true
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return strings.TrimRight(s[:i], " \t")
+		}
+	}
+	return strings.TrimRight(s, " \t")
+}
+
+// splitKey splits "key: value" at the first unquoted, unbracketed ':'
+// that is followed by a space or ends the line. ok is false when the
+// content has no such separator (it is a plain scalar).
+func splitKey(s string) (key, rest string, ok bool, err error) {
+	inS, inD := false, false
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inD:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inD = false
+			}
+		case inS:
+			if c == '\'' {
+				inS = false
+			}
+		case c == '"':
+			inD = true
+		case c == '\'':
+			inS = true
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ':' && depth == 0 && (i+1 == len(s) || s[i+1] == ' '):
+			rawKey := strings.TrimSpace(s[:i])
+			if rawKey == "" {
+				return "", "", false, fmt.Errorf("empty mapping key")
+			}
+			key, _, uerr := unquoteScalar(rawKey)
+			if uerr != nil {
+				return "", "", false, uerr
+			}
+			return key, strings.TrimSpace(s[i+1:]), true, nil
+		}
+	}
+	return "", "", false, nil
+}
+
+// unquoteScalar resolves quoting: double quotes decode escape sequences,
+// single quotes decode ” to ', bare text is returned as-is.
+func unquoteScalar(s string) (text string, quoted bool, err error) {
+	if len(s) >= 2 && s[0] == '"' {
+		if s[len(s)-1] != '"' {
+			return "", false, fmt.Errorf("unterminated double-quoted string %q", s)
+		}
+		out, err := decodeDouble(s[1 : len(s)-1])
+		return out, true, err
+	}
+	if len(s) >= 2 && s[0] == '\'' {
+		if s[len(s)-1] != '\'' {
+			return "", false, fmt.Errorf("unterminated single-quoted string %q", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), true, nil
+	}
+	if len(s) > 0 && (s[0] == '"' || s[0] == '\'') {
+		return "", false, fmt.Errorf("unterminated quoted string %q", s)
+	}
+	return s, false, nil
+}
+
+func decodeDouble(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling backslash in %q", s)
+		}
+		switch s[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case '/':
+			b.WriteByte('/')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case 'b':
+			b.WriteByte('\b')
+		case 'f':
+			b.WriteByte('\f')
+		case '0':
+			b.WriteByte(0)
+		case 'u':
+			if i+4 >= len(s) {
+				return "", fmt.Errorf("truncated \\u escape in %q", s)
+			}
+			v, err := strconv.ParseUint(s[i+1:i+5], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad \\u escape in %q", s)
+			}
+			b.WriteRune(rune(v))
+			i += 4
+		default:
+			return "", fmt.Errorf("unsupported escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}

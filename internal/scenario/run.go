@@ -1,0 +1,377 @@
+package scenario
+
+// Compiling and running: a Scenario lowers onto the existing
+// fleet.Runner/Config machinery. Events apply serially between Step
+// calls (the same serial phases the day loop already uses), so a
+// scenario inherits the runner's determinism contract unchanged:
+// identical file + seed → bit-identical DayStats, quarantine ledger, and
+// metrics snapshot at any parallelism.
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/quarantine"
+	"repro/internal/screen"
+	"repro/internal/simtime"
+)
+
+// FromConfig wraps an already-built fleet.Config in a generated scenario
+// — the bridge that lets the legacy flag-pile CLI ride the scenario
+// runner. The config is used verbatim; only Seed is overridable.
+func FromConfig(name string, cfg fleet.Config, days int) *Scenario {
+	return &Scenario{
+		Name: name,
+		Days: days,
+		Fleet: FleetDef{
+			Machines: cfg.Machines,
+			Cores:    cfg.CoresPerMachine,
+		},
+		base: &cfg,
+	}
+}
+
+// Compile lowers the scenario onto a fleet.Config: the defaults, with
+// every field the file actually set overriding.
+func (s *Scenario) Compile() (fleet.Config, error) {
+	if s.base != nil {
+		cfg := *s.base
+		if s.Seed != nil {
+			cfg.Seed = *s.Seed
+		}
+		return cfg, nil
+	}
+	cfg := fleet.DefaultConfig()
+	cfg.Machines = s.Fleet.Machines
+	cfg.CoresPerMachine = s.Fleet.Cores
+	if s.Seed != nil {
+		cfg.Seed = *s.Seed
+	}
+	fd := &s.Fleet
+	setF := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setF(&cfg.DefectsPerMachine, fd.DefectsPerMachine)
+	setF(&cfg.DailyOpsPerCore, fd.DailyOpsPerCore)
+	setF(&cfg.PImmediateDetect, fd.PImmediateDetect)
+	setF(&cfg.PCrash, fd.PCrash)
+	setF(&cfg.PMCE, fd.PMCE)
+	setF(&cfg.PLateDetect, fd.PLateDetect)
+	setF(&cfg.PCoreAttribution, fd.PCoreAttribution)
+	setF(&cfg.SoftwareBugSignalsPerMachineDay, fd.SoftwareBugSignalsPerDay)
+	setF(&cfg.UserReportFraction, fd.UserReportFraction)
+	if fd.ScreenOpsPerCoreDay != nil {
+		cfg.ScreenOpsPerCoreDay = *fd.ScreenOpsPerCoreDay
+	}
+	if fd.InitialCorpus != nil {
+		cfg.InitialCorpus = *fd.InitialCorpus
+	}
+	if fd.CorpusGrowEveryDays != nil {
+		cfg.CorpusGrowEveryDays = *fd.CorpusGrowEveryDays
+	}
+	if fd.MaxSignalsPerCoreDay != nil {
+		cfg.MaxSignalsPerCoreDay = *fd.MaxSignalsPerCoreDay
+	}
+	if fd.RepairAfterDays != nil {
+		cfg.RepairAfterDays = *fd.RepairAfterDays
+	}
+	if fd.Policy != nil {
+		if fd.Policy.Mode != "" {
+			mode, err := policyMode(fd.Policy.Mode)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Policy.Mode = mode
+		}
+		if fd.Policy.MinScore != nil {
+			cfg.Policy.MinScore = *fd.Policy.MinScore
+		}
+		if fd.Policy.RequireConfession != nil {
+			cfg.Policy.RequireConfession = *fd.Policy.RequireConfession
+		}
+		if fd.Policy.DeclineRetryDays != nil {
+			cfg.Policy.DeclineRetry = simtime.Time(*fd.Policy.DeclineRetryDays) * simtime.Day
+		}
+	}
+	if fd.Confession != nil {
+		passes, maxOps := 60, uint64(15_000_000)
+		if fd.Confession.Passes != nil {
+			passes = *fd.Confession.Passes
+		}
+		if fd.Confession.MaxOps != nil {
+			maxOps = *fd.Confession.MaxOps
+		}
+		cfg.ConfessionConfig = screen.NewConfig(
+			screen.WithPasses(passes),
+			screen.WithSweep(2, 1, 2),
+			screen.WithMaxOps(maxOps),
+		)
+		// New(cfg) only defaults the policy's screen from the fleet's
+		// when the policy screen is unset; keep them in sync explicitly.
+		cfg.Policy.ConfessionConfig = screen.Config{}
+	}
+	for _, sku := range fd.SKUs {
+		cfg.SKUs = append(cfg.SKUs, fleet.SKU{
+			Name:             sku.Name,
+			Fraction:         sku.Fraction,
+			DefectMultiplier: sku.DefectMultiplier,
+			PreAgeDays:       sku.PreAgeDays,
+		})
+	}
+	if s.Workloads.KVDB != nil {
+		cfg.KVDB = kvConfig(s.Workloads.KVDB)
+	}
+	if s.Workloads.TaskRun != nil {
+		cfg.TaskRun = taskRunConfig(s.Workloads.TaskRun)
+	}
+	return cfg, nil
+}
+
+func policyMode(name string) (quarantine.Mode, error) {
+	switch name {
+	case "machine-drain":
+		return quarantine.MachineDrain, nil
+	case "core-removal":
+		return quarantine.CoreRemoval, nil
+	case "safe-tasks":
+		return quarantine.SafeTasks, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown policy mode %q", name)
+}
+
+func kvConfig(k *KVDef) fleet.KVDBConfig {
+	cfg := fleet.KVDBConfig{Stores: k.Stores}
+	if k.Replicas != nil {
+		cfg.Replicas = *k.Replicas
+	}
+	if k.Rows != nil {
+		cfg.Rows = *k.Rows
+	}
+	if k.ReadsPerDay != nil {
+		cfg.ReadsPerDay = *k.ReadsPerDay
+	}
+	if k.WritesPerDay != nil {
+		cfg.WritesPerDay = *k.WritesPerDay
+	}
+	if k.ValueBytes != nil {
+		cfg.ValueBytes = *k.ValueBytes
+	}
+	if k.MaxRetries != nil {
+		cfg.MaxRetries = *k.MaxRetries
+	}
+	if k.AvoidScore != nil {
+		cfg.AvoidScore = *k.AvoidScore
+	}
+	return cfg
+}
+
+func taskRunConfig(t *TaskRunDef) fleet.TaskRunConfig {
+	cfg := fleet.TaskRunConfig{Tasks: t.Tasks}
+	if t.GranulesPerTask != nil {
+		cfg.GranulesPerTask = *t.GranulesPerTask
+	}
+	if t.MaxRetries != nil {
+		cfg.MaxRetries = *t.MaxRetries
+	}
+	if t.DivergenceThreshold != nil {
+		cfg.DivergenceThreshold = *t.DivergenceThreshold
+	}
+	if t.Paranoid != nil {
+		cfg.Paranoid = *t.Paranoid
+	}
+	return cfg
+}
+
+// Options configures one scenario run. The zero value is usable: default
+// parallelism, a private metrics registry, no trace, no observer.
+type Options struct {
+	// Parallelism overrides the scenario's worker count (0 keeps the
+	// scenario's own setting, which itself defaults to GOMAXPROCS).
+	Parallelism int
+	// Metrics receives the run's telemetry; nil allocates a private
+	// registry (assertions over metrics still work either way).
+	Metrics *obs.Registry
+	// Trace, when set, receives the CEE lifecycle stream.
+	Trace *obs.Trace
+	// Observer, when set, receives every day's stats as produced.
+	Observer func(fleet.DayStats)
+}
+
+// Result is everything a finished run exposes to assertions and callers.
+type Result struct {
+	Scenario string
+	// Days is the daily telemetry series.
+	Days []fleet.DayStats
+	// totals accumulates the countable DayStats fields over the run.
+	totals fleet.DayStats
+	// Detection compares the quarantine ledger against ground truth.
+	Detection metrics.DetectionReport
+	// Triage is the human-investigation ledger.
+	Triage fleet.TriageStats
+	// Records is the final quarantine ledger, in isolation order.
+	Records []*quarantine.Record
+	// Snapshot is the metrics registry at end of run, sorted.
+	Snapshot []obs.SeriesSnapshot
+	// Fleet is the underlying simulator, for further inspection.
+	Fleet *fleet.Fleet
+}
+
+// Totals returns the run's summed daily counters.
+func (r *Result) Totals() fleet.DayStats { return r.totals }
+
+// Run compiles and executes the scenario. Assertions are NOT evaluated
+// here — call Check on the result — so callers can inspect a failing
+// run's state.
+func (s *Scenario) Run(opts Options) (*Result, error) {
+	cfg, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	par := opts.Parallelism
+	if par == 0 {
+		par = s.Parallelism
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ropts := []fleet.RunnerOption{fleet.WithMetrics(reg)}
+	if par > 0 {
+		ropts = append(ropts, fleet.WithParallelism(par))
+	}
+	if opts.Trace != nil {
+		ropts = append(ropts, fleet.WithTrace(opts.Trace))
+	}
+	if opts.Observer != nil {
+		ropts = append(ropts, fleet.WithObserver(opts.Observer))
+	}
+	r, err := fleet.NewRunner(cfg, ropts...)
+	if err != nil {
+		return nil, err
+	}
+	f := r.Fleet()
+	evs := s.sortedEvents()
+	res := &Result{Scenario: s.Name}
+	next := 0
+	for day := 0; day < s.Days; day++ {
+		for next < len(evs) && evs[next].Day == day {
+			ev := evs[next]
+			next++
+			if err := applyEvent(f, ev); err != nil {
+				return nil, fmt.Errorf("%s:%d: %s on day %d: %v", s.File, ev.Line, ev.Kind, day, err)
+			}
+		}
+		st := r.Step()
+		res.Days = append(res.Days, st)
+		addTotals(&res.totals, st)
+	}
+	res.Detection = metrics.Detection(f, s.Days)
+	res.Triage = f.Triage
+	res.Records = f.Manager().Records()
+	res.Snapshot = reg.Snapshot()
+	res.Fleet = f
+	return res, nil
+}
+
+// applyEvent dispatches one timed action onto the fleet's serial hooks.
+func applyEvent(f *fleet.Fleet, ev Event) error {
+	switch ev.Kind {
+	case EvInjectDefect:
+		return applyInject(f, ev.Inject)
+	case EvDrainMachine:
+		return f.DrainMachine(ev.Machine)
+	case EvUndrainMachine:
+		return f.UndrainMachine(ev.Machine)
+	case EvSetOperatingPoint:
+		pt := f.OperatingPoint()
+		if ev.Point.FreqGHz != nil {
+			pt.FreqGHz = *ev.Point.FreqGHz
+		}
+		if ev.Point.VoltageV != nil {
+			pt.VoltageV = *ev.Point.VoltageV
+		}
+		if ev.Point.TempC != nil {
+			pt.TempC = *ev.Point.TempC
+		}
+		f.SetOperatingPoint(pt)
+		return nil
+	case EvStartKVLoad:
+		return f.StartKVLoad(kvConfig(ev.KV))
+	case EvStopKVLoad:
+		f.StopKVLoad()
+		return nil
+	case EvStartTaskRun:
+		return f.StartTaskRun(taskRunConfig(ev.TaskRun))
+	case EvStopTaskRun:
+		f.StopTaskRun()
+		return nil
+	}
+	return fmt.Errorf("unknown event kind %q", ev.Kind)
+}
+
+func applyInject(f *fleet.Fleet, in *InjectDef) error {
+	if in.Class != "" {
+		return f.InjectDefectClass(in.Machine, in.Core, in.Class)
+	}
+	unit, err := fault.UnitByName(in.Unit)
+	if err != nil {
+		return err
+	}
+	kind, err := fault.KindByName(in.Kind)
+	if err != nil {
+		return err
+	}
+	d := fault.Defect{
+		Unit:            unit,
+		Kind:            kind,
+		BaseRate:        in.BaseRate,
+		Deterministic:   in.Deterministic,
+		Mask:            in.Mask,
+		Delta:           in.Delta,
+		PatternMask:     in.PatternMask,
+		PatternVal:      in.PatternVal,
+		Onset:           simtime.Time(in.OnsetDays) * simtime.Day,
+		EscalatePerYear: in.EscalatePerYear,
+		Sens: fault.Sensitivity{
+			Freq: in.FreqSens,
+			Volt: in.VoltSens,
+			Temp: in.TempSens,
+		},
+	}
+	if in.BitPos != nil {
+		d.BitPos = uint(*in.BitPos)
+	}
+	if in.StuckVal != nil {
+		d.StuckVal = uint(*in.StuckVal)
+	}
+	return f.InjectDefect(in.Machine, in.Core, d)
+}
+
+// addTotals folds one day's countable fields into the accumulator.
+func addTotals(acc *fleet.DayStats, st fleet.DayStats) {
+	acc.Corruptions += st.Corruptions
+	for i := range acc.ByOutcome {
+		acc.ByOutcome[i] += st.ByOutcome[i]
+	}
+	acc.AutoReports += st.AutoReports
+	acc.UserReports += st.UserReports
+	acc.ScreenDetections += st.ScreenDetections
+	acc.NewQuarantines += st.NewQuarantines
+	acc.RepairsDone += st.RepairsDone
+	acc.KVReads += st.KVReads
+	acc.KVRetries += st.KVRetries
+	acc.KVRepairs += st.KVRepairs
+	acc.KVDegraded += st.KVDegraded
+	acc.KVErrors += st.KVErrors
+	acc.TRGranules += st.TRGranules
+	acc.TRRetries += st.TRRetries
+	acc.TRMigrations += st.TRMigrations
+	acc.TRRestores += st.TRRestores
+	acc.TRSignals += st.TRSignals
+	acc.TRFailures += st.TRFailures
+}

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDecodeValidCorpus loads every shipped scenario: the corpus in
+// scenarios/ doubles as the decoder's golden "valid" set.
+func TestDecodeValidCorpus(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil || len(files) < 8 {
+		t.Fatalf("scenario corpus too small: %d files (err %v)", len(files), err)
+	}
+	for _, path := range files {
+		s, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if s.Name == "" || s.Days <= 0 || s.Fleet.Machines <= 0 {
+			t.Errorf("%s: incomplete scenario %+v", path, s)
+		}
+		if s.Assert.Empty() {
+			t.Errorf("%s: shipped scenarios must declare assertions", path)
+		}
+		if _, err := s.Compile(); err != nil {
+			t.Errorf("%s: Compile: %v", path, err)
+		}
+	}
+}
+
+// TestDecodeInvalidGolden checks that schema violations produce the
+// expected stable, line-numbered errors. Each testdata/invalid/X.yaml is
+// paired with X.want holding one expected-error prefix per line.
+func TestDecodeInvalidGolden(t *testing.T) {
+	files, err := filepath.Glob("testdata/invalid/*.yaml")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no invalid testdata: %v", err)
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, perr := Parse(filepath.Base(path), data)
+			if perr == nil {
+				t.Fatalf("Parse accepted invalid input")
+			}
+			got := strings.Split(strings.TrimSpace(perr.Error()), "\n")
+			wantRaw, err := os.ReadFile(strings.TrimSuffix(path, ".yaml") + ".want")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range strings.Split(strings.TrimSpace(string(wantRaw)), "\n") {
+				found := false
+				for _, g := range got {
+					if strings.HasPrefix(g, want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("missing expected error %q\ngot:\n  %s", want, strings.Join(got, "\n  "))
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeRoundTripValues spot-checks that decoded values land in the
+// right fields with the right types.
+func TestDecodeRoundTripValues(t *testing.T) {
+	src := `
+name: rt
+seed: 99
+days: 12
+parallelism: 3
+fleet:
+  machines: 20
+  cores_per_machine: 4
+  defects_per_machine: 0
+  repair_after_days: 7
+  policy:
+    mode: machine-drain
+    decline_retry_days: 5
+  confession:
+    passes: 10
+    max_ops: 1000000
+workloads:
+  kvdb:
+    stores: 2
+    replicas: 5
+events:
+  - day: 1
+    inject_defect:
+      machine: m00003
+      core: 2
+      unit: VEC
+      kind: bitflip
+      bit_pos: 13
+      base_rate: 2.5e-7
+      pattern_mask: 0xf0
+      pattern_val: 0x50
+  - day: 4
+    set_operating_point:
+      voltage_v: 0.9
+assert:
+  corruptions: {min: 1}
+  quarantined_cores:
+    - m00003/2
+`
+	s, err := Parse("rt.yaml", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed == nil || *s.Seed != 99 || s.Days != 12 || s.Parallelism != 3 {
+		t.Errorf("header: %+v", s)
+	}
+	if s.Fleet.RepairAfterDays == nil || *s.Fleet.RepairAfterDays != 7 {
+		t.Errorf("repair_after_days: %+v", s.Fleet.RepairAfterDays)
+	}
+	if s.Fleet.Policy == nil || s.Fleet.Policy.Mode != "machine-drain" ||
+		s.Fleet.Policy.DeclineRetryDays == nil || *s.Fleet.Policy.DeclineRetryDays != 5 {
+		t.Errorf("policy: %+v", s.Fleet.Policy)
+	}
+	if s.Workloads.KVDB == nil || s.Workloads.KVDB.Stores != 2 || *s.Workloads.KVDB.Replicas != 5 {
+		t.Errorf("kvdb: %+v", s.Workloads.KVDB)
+	}
+	if len(s.Events) != 2 {
+		t.Fatalf("events: %d", len(s.Events))
+	}
+	in := s.Events[0].Inject
+	if in == nil || in.Machine != "m00003" || in.Core != 2 ||
+		in.PatternMask != 0xf0 || in.PatternVal != 0x50 ||
+		in.BitPos == nil || *in.BitPos != 13 || in.BaseRate != 2.5e-7 {
+		t.Errorf("inject: %+v", in)
+	}
+	pt := s.Events[1].Point
+	if pt == nil || pt.VoltageV == nil || *pt.VoltageV != 0.9 || pt.FreqGHz != nil {
+		t.Errorf("point: %+v", pt)
+	}
+	if len(s.Assert.Quantities) != 1 || len(s.Assert.QuarantinedCores) != 1 {
+		t.Errorf("assert: %+v", s.Assert)
+	}
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 99 || cfg.Machines != 20 || cfg.RepairAfterDays != 7 || cfg.KVDB.Replicas != 5 {
+		t.Errorf("compiled: %+v", cfg)
+	}
+}
