@@ -1,0 +1,261 @@
+package main
+
+// fleetsim bench: the repeatable day-loop performance harness behind
+// BENCH_fleetsim.json. It runs the fleet simulator's Step loop over a
+// matrix of fleet sizes and worker counts, measures wall-clock and
+// allocation cost per simulated day, and appends the results to a JSON
+// trajectory file so per-PR regressions are visible (ROADMAP: "start
+// recording the trajectory as BENCH_fleetsim.json").
+//
+// The fleet build is excluded from the timing; one warm-up day runs before
+// the measured window so steady-state costs (lazily built pools, corpus
+// unlock state) are what get recorded.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// BenchConfigResult is one (machines, parallelism) cell of the matrix.
+type BenchConfigResult struct {
+	Machines    int `json:"machines"`
+	CoresPer    int `json:"cores_per_machine"`
+	Parallelism int `json:"parallelism"` // effective worker count (NumCPU resolved)
+	Days        int `json:"days"`
+	// NsPerDay is wall-clock nanoseconds per simulated day.
+	NsPerDay int64 `json:"ns_per_day"`
+	// AllocsPerDay and BytesPerDay are heap allocation counts/bytes per
+	// simulated day (runtime.MemStats deltas over the measured window).
+	AllocsPerDay int64 `json:"allocs_per_day"`
+	BytesPerDay  int64 `json:"bytes_per_day"`
+}
+
+// BenchRun is one invocation of the harness.
+type BenchRun struct {
+	Label      string              `json:"label"`
+	UTC        string              `json:"utc"`
+	GoVersion  string              `json:"go"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Configs    []BenchConfigResult `json:"configs"`
+}
+
+// BenchFile is the BENCH_fleetsim.json schema: a named benchmark plus the
+// append-only trajectory of runs.
+type BenchFile struct {
+	Benchmark string     `json:"benchmark"`
+	Units     BenchUnits `json:"units"`
+	Runs      []BenchRun `json:"runs"`
+}
+
+// BenchUnits documents the measurement units inline, so the file is
+// self-describing for dashboards and the CI schema check.
+type BenchUnits struct {
+	NsPerDay     string `json:"ns_per_day"`
+	AllocsPerDay string `json:"allocs_per_day"`
+	BytesPerDay  string `json:"bytes_per_day"`
+}
+
+const benchName = "fleetsim-day-loop"
+
+func defaultUnits() BenchUnits {
+	return BenchUnits{
+		NsPerDay:     "wall-clock nanoseconds per simulated day (fleet build and warm-up excluded)",
+		AllocsPerDay: "heap allocations per simulated day",
+		BytesPerDay:  "heap bytes allocated per simulated day",
+	}
+}
+
+// parseIntList parses "1000,10000,100000" into ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad value %q (want a non-negative integer)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// benchFleetConfig scales the calibrated default config to the given fleet
+// size. Everything else — defect density, screening budget, noise — keeps
+// the paper-calibrated defaults so the measured day is a representative
+// production day, not a synthetic idle one.
+func benchFleetConfig(machines int) fleet.Config {
+	cfg := fleet.DefaultConfig()
+	cfg.Machines = machines
+	cfg.Seed = 7
+	return cfg
+}
+
+// measureDayLoop runs one matrix cell: build the fleet, warm one day, then
+// time `days` Steps with MemStats deltas around the measured window.
+func measureDayLoop(machines, parallelism, days int) (BenchConfigResult, error) {
+	cfg := benchFleetConfig(machines)
+	r, err := fleet.NewRunner(cfg, fleet.WithParallelism(parallelism))
+	if err != nil {
+		return BenchConfigResult{}, err
+	}
+	r.Step() // warm-up day, not measured
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < days; i++ {
+		r.Step()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return BenchConfigResult{
+		Machines:     machines,
+		CoresPer:     cfg.CoresPerMachine,
+		Parallelism:  r.Parallelism(),
+		Days:         days,
+		NsPerDay:     elapsed.Nanoseconds() / int64(days),
+		AllocsPerDay: int64(after.Mallocs-before.Mallocs) / int64(days),
+		BytesPerDay:  int64(after.TotalAlloc-before.TotalAlloc) / int64(days),
+	}, nil
+}
+
+// loadBenchFile reads an existing trajectory, or returns a fresh one. A
+// file with the wrong benchmark name is an error, not an overwrite — the
+// trajectory is append-only history.
+func loadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &BenchFile{Benchmark: benchName, Units: defaultUnits()}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: not a valid bench file: %v", path, err)
+	}
+	if bf.Benchmark != benchName {
+		return nil, fmt.Errorf("%s: benchmark %q, want %q", path, bf.Benchmark, benchName)
+	}
+	bf.Units = defaultUnits()
+	return &bf, nil
+}
+
+func cmdBench(args []string) int {
+	fs := flag.NewFlagSet("fleetsim bench", flag.ContinueOnError)
+	machinesFlag := fs.String("machines", "1000,10000,100000", "comma-separated fleet sizes")
+	parFlag := fs.String("parallelism", "1,4,0", "comma-separated worker counts (0 = NumCPU)")
+	days := fs.Int("days", 20, "simulated days per matrix cell (after one warm-up day)")
+	out := fs.String("out", "BENCH_fleetsim.json", "trajectory file to append to ('-' prints without writing)")
+	label := fs.String("label", "", "label for this run (default: utc timestamp)")
+	quick := fs.Bool("quick", false, "CI smoke mode: 1k machines only, parallelism 1 and NumCPU, 3 days")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fleetsim bench [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim bench: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+	if *days <= 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim bench: -days must be positive, got %d\n", *days)
+		return 2
+	}
+	machines, err := parseIntList(*machinesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim bench: -machines: %v\n", err)
+		return 2
+	}
+	pars, err := parseIntList(*parFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim bench: -parallelism: %v\n", err)
+		return 2
+	}
+	if *quick {
+		machines = []int{1000}
+		pars = []int{1, 0}
+		*days = 3
+	}
+	sort.Ints(machines)
+
+	run := BenchRun{
+		Label:      *label,
+		UTC:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if run.Label == "" {
+		run.Label = run.UTC
+	}
+
+	// Effective worker counts can collide (e.g. NumCPU == 1 on a small
+	// host); measure each effective count once but keep the requested
+	// matrix shape in the log line.
+	for _, m := range machines {
+		seen := map[int]bool{}
+		for _, p := range pars {
+			eff := p
+			if eff <= 0 {
+				eff = runtime.GOMAXPROCS(0)
+			}
+			if seen[eff] {
+				continue
+			}
+			seen[eff] = true
+			fmt.Fprintf(os.Stderr, "bench: machines=%d parallelism=%d days=%d ... ", m, eff, *days)
+			res, err := measureDayLoop(m, eff, *days)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\nfleetsim bench: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "%.3f ms/day, %d allocs/day\n",
+				float64(res.NsPerDay)/1e6, res.AllocsPerDay)
+			run.Configs = append(run.Configs, res)
+		}
+	}
+
+	if *out == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(run)
+		return 0
+	}
+	bf, err := loadBenchFile(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim bench: %v\n", err)
+		return 1
+	}
+	bf.Runs = append(bf.Runs, run)
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim bench: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("bench: %d config(s) appended to %s (label %q)\n", len(run.Configs), *out, run.Label)
+	return 0
+}

@@ -39,6 +39,7 @@ Commands:
   run <scenario.yaml>      run one scenario and check its assertions
   validate <file>...       parse and schema-check scenario files
   experiments [flags]      run the paper's experiment registry (legacy flags)
+  bench [flags]            benchmark the day loop, append BENCH_fleetsim.json
   help                     show this message
 
 Run 'fleetsim <command> -h' for the command's flags. Invoking fleetsim
@@ -64,6 +65,8 @@ func main() {
 		os.Exit(cmdValidate(args[1:]))
 	case "experiments":
 		os.Exit(cmdExperiments(args[1:]))
+	case "bench":
+		os.Exit(cmdBench(args[1:]))
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 		os.Exit(0)

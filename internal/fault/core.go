@@ -36,6 +36,19 @@ type Core struct {
 
 	// OnCorrupt, if non-nil, observes every ground-truth corruption.
 	OnCorrupt func(CorruptionEvent)
+
+	// Per-defect activation rates cached for the current (Point, Age).
+	// Rate is a pure function of (defect, point, age) but costs an exp and
+	// often a pow; recomputing it on every operation dominated screening
+	// sessions. The cache is revalidated by value comparison on access, so
+	// direct writes to the exported Point/Age fields (operating-point
+	// sweeps, daily aging) invalidate it without any bookkeeping at the
+	// write sites. Cached values are the exact floats Rate returns, so the
+	// Bernoulli draw sequence is bit-identical with and without the cache.
+	rates   []float64
+	ratePt  OperatingPoint
+	rateAge simtime.Time
+	rateOK  bool
 }
 
 // NewCore returns a core with the given defects (copied) and its own
@@ -67,23 +80,59 @@ func (c *Core) Mercurial() bool {
 // Decide is the engine's hook: it accounts one operation of class op with
 // first operand a, and returns the defect that fires for it, or nil.
 // At most one defect fires per operation (defects are checked in order).
+//
+// The healthy-core path is small enough to inline into the engine's
+// per-operation dispatch; the defective path lives in decideDefective.
 func (c *Core) Decide(op OpClass, a uint64) *Defect {
 	c.OpCount[op]++
 	c.seq++
 	if len(c.Defects) == 0 {
 		return nil
 	}
+	return c.decideDefective(op, a)
+}
+
+// decideDefective checks each defect against one operation using cached
+// activation rates. The decision sequence per defect is unchanged from
+// Defect.Active — the Bernoulli draw happens iff the defect triggers and
+// 0 < rate < 1 — so the RNG stream is identical to the uncached path.
+func (c *Core) decideDefective(op OpClass, a uint64) *Defect {
+	if !c.rateOK || len(c.rates) != len(c.Defects) ||
+		c.Point != c.ratePt || c.Age != c.rateAge {
+		c.refreshRates()
+	}
 	for i := range c.Defects {
 		d := &c.Defects[i]
-		if d.Active(op, a, c.Point, c.Age, c.rng) {
-			c.CorruptCount[op]++
-			if c.OnCorrupt != nil {
-				c.OnCorrupt(CorruptionEvent{Defect: d, Op: op, Seq: c.seq})
-			}
-			return d
+		if !d.Triggers(op, a) {
+			continue
 		}
+		r := c.rates[i]
+		if r <= 0 {
+			continue
+		}
+		if r < 1 && !c.rng.Bernoulli(r) {
+			continue
+		}
+		c.CorruptCount[op]++
+		if c.OnCorrupt != nil {
+			c.OnCorrupt(CorruptionEvent{Defect: d, Op: op, Seq: c.seq})
+		}
+		return d
 	}
 	return nil
+}
+
+// refreshRates recomputes the cached per-defect rates for the current
+// (Point, Age).
+func (c *Core) refreshRates() {
+	if cap(c.rates) < len(c.Defects) {
+		c.rates = make([]float64, len(c.Defects))
+	}
+	c.rates = c.rates[:len(c.Defects)]
+	for i := range c.Defects {
+		c.rates[i] = c.Defects[i].Rate(c.Point, c.Age)
+	}
+	c.ratePt, c.rateAge, c.rateOK = c.Point, c.Age, true
 }
 
 // TotalOps returns the total operations executed across all classes.

@@ -77,6 +77,7 @@ func (f *Fleet) InjectDefect(machineID string, core int, d fault.Defect) error {
 		FirstActive: now + delay,
 	}
 	f.defects = append(f.defects, site)
+	f.siteMachines = append(f.siteMachines, m)
 	// The ground-truth census event. Day 0 is traced by traceDefects'
 	// population sweep, which runs after day-0 events apply.
 	if f.trace != nil && f.day > 0 {

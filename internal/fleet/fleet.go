@@ -309,10 +309,17 @@ type Fleet struct {
 	parallelism int
 	machines    []*Machine
 	defects     []*DefectSite
-	server      *report.Server
-	cluster     *sched.Cluster
-	manager     *quarantine.Manager
-	allWork     []corpus.Workload
+	// siteMachines[i] is the resolved machine of defects[i] — struct-of-
+	// arrays companion to the defect list, so the per-day planning loop
+	// never re-parses machine ids. Kept aligned with defects by New and
+	// InjectDefect (sites are never removed, only marked Repaired).
+	siteMachines []*Machine
+	// scratch holds the day loop's pooled buffers (see tick.go).
+	scratch dayScratch
+	server  *report.Server
+	cluster *sched.Cluster
+	manager *quarantine.Manager
+	allWork []corpus.Workload
 	// Truth and detection ledgers.
 	Triage TriageStats
 	// quarantineDay maps core ref to the day it was isolated.
@@ -433,6 +440,7 @@ func New(cfg Config) *Fleet {
 				Machine: id, Core: coreIdx, Site: core,
 				FirstActive: firstActive,
 			})
+			f.siteMachines = append(f.siteMachines, m)
 		}
 		f.machines = append(f.machines, m)
 	}

@@ -52,6 +52,44 @@ type Runner struct {
 	fleet     *Fleet
 	observers []func(DayStats)
 	metrics   *obs.Registry
+	// day holds the fleet_* instrument handles, resolved once at
+	// construction: recordDay runs every simulated day and each registry
+	// lookup takes the registry mutex, so per-day lookups were pure
+	// overhead (and, with scrapers attached, lock traffic against them).
+	day *dayInstruments
+}
+
+// dayInstruments caches the per-day fleet counters and gauges.
+type dayInstruments struct {
+	corruptions      *obs.Counter
+	byOutcome        [numOutcomes]*obs.Counter
+	autoReports      *obs.Counter
+	userReports      *obs.Counter
+	screenDetections *obs.Counter
+	quarantines      *obs.Counter
+	repairs          *obs.Counter
+	activeDefects    *obs.Gauge
+	fleetDay         *obs.Gauge
+	daySeconds       *obs.Histogram
+}
+
+func newDayInstruments(reg *obs.Registry) *dayInstruments {
+	di := &dayInstruments{
+		corruptions:      reg.Counter("fleet_corruptions_total"),
+		autoReports:      reg.Counter("fleet_reports_auto_total"),
+		userReports:      reg.Counter("fleet_reports_user_total"),
+		screenDetections: reg.Counter("fleet_screen_detections_total"),
+		quarantines:      reg.Counter("fleet_quarantines_total"),
+		repairs:          reg.Counter("fleet_repairs_total"),
+		activeDefects:    reg.Gauge("fleet_active_defects"),
+		fleetDay:         reg.Gauge("fleet_day"),
+		daySeconds:       reg.Histogram("fleet_day_seconds"),
+	}
+	for o := Outcome(0); o < numOutcomes; o++ {
+		di.byOutcome[o] = reg.Counter("fleet_corruptions_by_outcome_total",
+			obs.L("outcome", o.String()))
+	}
+	return di
 }
 
 // RunnerOption configures a Runner under construction.
@@ -146,6 +184,7 @@ func NewRunner(cfg Config, opts ...RunnerOption) (*Runner, error) {
 	}
 	r := &Runner{fleet: f, metrics: o.metrics}
 	if o.metrics != nil {
+		r.day = newDayInstruments(o.metrics)
 		// The per-day counter observer runs first, before user observers,
 		// so user observers that scrape the registry see the day applied.
 		r.observers = append(r.observers, r.recordDay)
@@ -154,21 +193,20 @@ func NewRunner(cfg Config, opts ...RunnerOption) (*Runner, error) {
 	return r, nil
 }
 
-// recordDay folds one day's telemetry into the metrics registry.
+// recordDay folds one day's telemetry into the cached instruments.
 func (r *Runner) recordDay(st DayStats) {
-	reg := r.metrics
-	reg.Counter("fleet_corruptions_total").Add(float64(st.Corruptions))
+	di := r.day
+	di.corruptions.Add(float64(st.Corruptions))
 	for o := Outcome(0); o < numOutcomes; o++ {
-		reg.Counter("fleet_corruptions_by_outcome_total", obs.L("outcome", o.String())).
-			Add(float64(st.ByOutcome[o]))
+		di.byOutcome[o].Add(float64(st.ByOutcome[o]))
 	}
-	reg.Counter("fleet_reports_auto_total").Add(float64(st.AutoReports))
-	reg.Counter("fleet_reports_user_total").Add(float64(st.UserReports))
-	reg.Counter("fleet_screen_detections_total").Add(float64(st.ScreenDetections))
-	reg.Counter("fleet_quarantines_total").Add(float64(st.NewQuarantines))
-	reg.Counter("fleet_repairs_total").Add(float64(st.RepairsDone))
-	reg.Gauge("fleet_active_defects").Set(float64(st.ActiveDefects))
-	reg.Gauge("fleet_day").Set(float64(st.Day))
+	di.autoReports.Add(float64(st.AutoReports))
+	di.userReports.Add(float64(st.UserReports))
+	di.screenDetections.Add(float64(st.ScreenDetections))
+	di.quarantines.Add(float64(st.NewQuarantines))
+	di.repairs.Add(float64(st.RepairsDone))
+	di.activeDefects.Set(float64(st.ActiveDefects))
+	di.fleetDay.Set(float64(st.Day))
 }
 
 // Fleet exposes the underlying simulator state (defect ground truth,
@@ -182,8 +220,8 @@ func (r *Runner) Parallelism() int { return r.fleet.parallelism }
 func (r *Runner) Step() DayStats {
 	start := time.Now()
 	st := r.fleet.Step()
-	if r.metrics != nil {
-		r.metrics.Histogram("fleet_day_seconds").Observe(time.Since(start).Seconds())
+	if r.day != nil {
+		r.day.daySeconds.Observe(time.Since(start).Seconds())
 	}
 	for _, ob := range r.observers {
 		ob(st)

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestHealthyConfessionSkipIsBehaviorIdentical is the regression proof for
+// the confession fast path: a healthy core cannot fail a self-check, so
+// confessOrSkip fabricates its empty confession instead of burning
+// millions of simulated screening ops. The skip must be invisible — the
+// forceRealConfessions hook turns it off, and the two runs must produce
+// identical day series, triage ledgers, and quarantine records. The RNG
+// streams a real healthy confession would consume are dead-end forks
+// nobody else reads, which is the property this test pins.
+func TestHealthyConfessionSkipIsBehaviorIdentical(t *testing.T) {
+	cfg := testConfig()
+	cfg.Machines = 200
+	const days = 40
+
+	type outcome struct {
+		series  []DayStats
+		triage  TriageStats
+		records []string
+	}
+	run := func(force bool) outcome {
+		orig := forceRealConfessions
+		forceRealConfessions = force
+		defer func() { forceRealConfessions = orig }()
+		r, err := NewRunner(cfg, WithParallelism(1))
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		series := r.Run(days)
+		var recs []string
+		for _, rec := range r.Fleet().Manager().Records() {
+			recs = append(recs, fmt.Sprintf("%s mode=%v day=%v confessed=%v banned=%d",
+				rec.Ref, rec.Mode, rec.When, rec.Confessed, len(rec.BannedUnits)))
+		}
+		return outcome{series: series, triage: r.Fleet().Triage, records: recs}
+	}
+
+	skipped := run(false)
+	real := run(true)
+
+	// The run must actually exercise confessions of healthy cores, or the
+	// equivalence claim is vacuous: false accusations only happen when a
+	// non-defective core went through a confession screen.
+	if skipped.triage.FalseAccusations == 0 {
+		t.Fatal("no healthy core was ever screened: the fast path was never exercised")
+	}
+	for i := range skipped.series {
+		if !reflect.DeepEqual(skipped.series[i], real.series[i]) {
+			t.Fatalf("day %d diverged\nskip: %+v\nreal: %+v",
+				i, skipped.series[i], real.series[i])
+		}
+	}
+	if skipped.triage != real.triage {
+		t.Fatalf("triage diverged:\nskip: %+v\nreal: %+v", skipped.triage, real.triage)
+	}
+	if !reflect.DeepEqual(skipped.records, real.records) {
+		t.Fatalf("quarantine records diverged:\nskip: %v\nreal: %v",
+			skipped.records, real.records)
+	}
+}

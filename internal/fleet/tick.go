@@ -61,9 +61,27 @@ type siteJob struct {
 	// doScreen marks the site for an online-screening tick today.
 	doScreen bool
 	// prodRNG drives the analytic outcome draws and signal attribution;
-	// screenRNG drives the screening workload sampling. Both are forked
-	// serially during planning, so workers never touch a shared stream.
-	prodRNG, screenRNG *xrand.RNG
+	// screenRNG drives the screening workload sampling. Both are reseeded
+	// in place (ForkStringInto) serially during planning — inline values,
+	// not pointers, so a reused jobs slice forks thousands of streams per
+	// day without touching the heap. The streams are bit-identical to the
+	// old allocating ForkString path.
+	prodRNG, screenRNG xrand.RNG
+}
+
+// dayScratch holds the day loop's reusable buffers. Everything here is
+// sized by the busiest day seen so far and reset (length, not capacity)
+// at the start of each day, so the steady-state day loop allocates
+// nothing for planning, per-site results, signal emission, or
+// investigation queues. Single-goroutine ownership follows the Fleet's:
+// workers only ever touch their own jobs/results elements.
+type dayScratch struct {
+	jobs    []siteJob
+	results []siteResult
+	invs    []invRequest
+	// online is the day's online-screening harness, rebound (corpus
+	// window, sharded counters) each day instead of reallocated.
+	online screen.Online
 }
 
 // invRequest asks for a human investigation of (machine, core).
@@ -102,10 +120,15 @@ func (f *Fleet) Step() DayStats {
 	// worker output.
 	f.traceDefects(day, now)
 	size := f.screenCorpusSize(day)
-	online := &screen.Online{BudgetOps: f.cfg.ScreenOpsPerCoreDay, Workloads: f.allWork[:size], Metrics: f.obs}
-	jobs := make([]siteJob, 0, len(f.defects))
-	for _, site := range f.defects {
-		m := f.machineByID(site.Machine)
+	sc := &f.scratch
+	online := &sc.online
+	online.BudgetOps = f.cfg.ScreenOpsPerCoreDay
+	online.Workloads = f.allWork[:size]
+	online.Metrics = f.obs
+	online.Bind(f.parallelism)
+	sc.jobs = sc.jobs[:0]
+	for i, site := range f.defects {
+		m := f.siteMachines[i]
 		// Repaired sites keep their ledger entry but the silicon is gone:
 		// without this skip a repaired core's ghost kept corrupting (and
 		// spamming signals a healthy-core confession could never confirm).
@@ -119,24 +142,33 @@ func (f *Fleet) Step() DayStats {
 		if j.lambda <= 0 && !j.doScreen {
 			continue
 		}
-		j.prodRNG = dayRNG.ForkString("prod:" + core.ID)
-		j.screenRNG = dayRNG.ForkString("screen:" + core.ID)
-		jobs = append(jobs, j)
+		sc.jobs = append(sc.jobs, j)
+		jp := &sc.jobs[len(sc.jobs)-1]
+		dayRNG.ForkStringInto("prod:", core.ID, &jp.prodRNG)
+		dayRNG.ForkStringInto("screen:", core.ID, &jp.screenRNG)
 	}
+	jobs := sc.jobs
 	pc.mark("plan")
 
 	// Phase 2: per-site work (parallel). Each worker owns its site's core
-	// and its own result slot; nothing shared is written.
-	results := make([]siteResult, len(jobs))
-	parallel.ForEach(f.parallelism, len(jobs), func(k int) {
-		results[k] = f.runSite(&jobs[k], online, now)
+	// and its own result slot; nothing shared is written. Result buffers
+	// (signal and investigation arenas included) are reused across days —
+	// runSite resets lengths, capacity stays.
+	if cap(sc.results) < len(jobs) {
+		grown := make([]siteResult, len(jobs))
+		copy(grown, sc.results)
+		sc.results = grown
+	}
+	results := sc.results[:len(jobs)]
+	parallel.ForEachWorker(f.parallelism, len(jobs), func(w, k int) {
+		f.runSite(&jobs[k], &results[k], online, now, w)
 	})
 	pc.mark("sites")
 
 	// Phase 3: single-writer merge, in site order. First-signal trace
 	// events are emitted here, not in the workers, so the stream order is
 	// the serial site order at any parallelism.
-	var invs []invRequest
+	invs := sc.invs[:0]
 	for i := range results {
 		r := &results[i]
 		if r.active {
@@ -198,7 +230,9 @@ func (f *Fleet) Step() DayStats {
 	pc.mark("noise")
 
 	// Phase 5: human triage — confession screens run in parallel, the
-	// ledger is tallied serially.
+	// ledger is tallied serially. The investigation queue's storage is
+	// day-scoped scratch; keep whatever capacity the appends grew.
+	sc.invs = invs
 	f.processInvestigations(invs, now, dayRNG, &st)
 	pc.mark("triage")
 
@@ -217,10 +251,17 @@ func (f *Fleet) Step() DayStats {
 
 // runSite performs one site's day: analytic production-workload CEE
 // manifestation and, for mercurial cores, a real online-screening tick. It
-// runs on a worker goroutine and must only touch the site's own core and
-// the returned buffer (f is read-only here).
-func (f *Fleet) runSite(j *siteJob, online *screen.Online, now simtime.Time) siteResult {
-	var r siteResult
+// runs on worker goroutine w and must only touch the site's own core and
+// its own result slot (f is read-only here). r is scratch reused across
+// days: lengths reset here, capacities persist as the signal/investigation
+// arenas.
+func (f *Fleet) runSite(j *siteJob, r *siteResult, online *screen.Online, now simtime.Time, w int) {
+	r.corruptions = 0
+	r.outcomes = [numOutcomes]int64{}
+	r.active = false
+	r.signals = r.signals[:0]
+	r.invs = r.invs[:0]
+	r.screenFails = 0
 	site := j.site
 	if j.lambda > 0 {
 		r.active = true
@@ -238,15 +279,15 @@ func (f *Fleet) runSite(j *siteJob, online *screen.Online, now simtime.Time) sit
 		}
 		if n > 0 {
 			r.corruptions = n
-			r.outcomes = f.splitOutcomes(n, j.prodRNG)
-			f.emitSignals(site, &r, now, j.prodRNG)
+			r.outcomes = f.splitOutcomes(n, &j.prodRNG)
+			f.emitSignals(site, r, now, &j.prodRNG)
 		}
 	}
 	if j.doScreen {
 		// Online screening: real corpus execution against the defective
 		// core (healthy cores cannot fail self-checks, so only their cost
 		// would matter; it is accounted implicitly by the budget).
-		found, _ := online.Tick(site.Site, j.screenRNG)
+		found, _ := online.TickOn(site.Site, &j.screenRNG, w)
 		for range found {
 			r.signals = append(r.signals, detect.Signal{
 				Machine: site.Machine, Core: site.Core,
@@ -255,7 +296,6 @@ func (f *Fleet) runSite(j *siteJob, online *screen.Online, now simtime.Time) sit
 			r.screenFails++
 		}
 	}
-	return r
 }
 
 // emitSignals converts one site's daily outcomes into rate-limited signal
@@ -301,6 +341,30 @@ func min64(a, b int64) int64 {
 	return b
 }
 
+// forceRealConfessions disables the healthy-core confession fast path so
+// the equivalence regression test can prove the skip is behavior-
+// identical. Never set outside tests.
+var forceRealConfessions = false
+
+// confessOrSkip runs a confession screen, short-circuiting provably clean
+// ones: a core with no defects cannot fail a self-check, so Confess would
+// burn the full multi-million-op budget to report Confirmed=false with an
+// empty report — which is exactly what this returns for free. The
+// profiling that motivated this found ~90% of day-loop time inside
+// confession screens of healthy cores fingered by software-bug noise.
+//
+// Determinism: the skipped screen's RNG stream is an independent fork
+// consumed by nobody else, so not draining it cannot shift any other
+// stream; downstream consumers (triage tally, quarantine manager, trace)
+// read only Confirmed and the report's detections — both identical to a
+// really-executed healthy screen.
+func confessOrSkip(fc *fault.Core, cfg screen.Config, rng *xrand.RNG) detect.Confession {
+	if fc.Healthy() && !forceRealConfessions {
+		return detect.Confession{CoreID: fc.ID, Report: screen.Report{CoreID: fc.ID}}
+	}
+	return detect.Confess(fc, cfg, rng)
+}
+
 // confessJob is one deferred confession screen, with the stream it must
 // consume pre-forked.
 type confessJob struct {
@@ -343,7 +407,7 @@ func (f *Fleet) processInvestigations(invs []invRequest, now simtime.Time, dayRN
 	// The cores are distinct (one investigation per machine per run), so
 	// the screens shard cleanly.
 	parallel.ForEach(f.parallelism, len(jobs), func(k int) {
-		jobs[k].conf = detect.Confess(jobs[k].fc, cfg, jobs[k].rng)
+		jobs[k].conf = confessOrSkip(jobs[k].fc, cfg, jobs[k].rng)
 	})
 	for i := range jobs {
 		f.traceConfession(jobs[i].machine, jobs[i].core, jobs[i].conf.Confirmed, "triage", now)
@@ -410,7 +474,7 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 	cfg := f.manager.ConfessionScreenConfig()
 	parallel.ForEach(f.parallelism, len(runnable), func(k int) {
 		j := &jobs[runnable[k]]
-		j.conf = detect.Confess(j.fc, cfg, j.rng)
+		j.conf = confessOrSkip(j.fc, cfg, j.rng)
 	})
 	// Precomputed confessions enter the trace here, serially, in suspect
 	// order — not from the worker goroutines above.
@@ -430,7 +494,7 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 				// but the manager asked anyway (e.g. state changed while
 				// handling an earlier suspect): run it now, on the stream
 				// reserved for this suspect.
-				conf := detect.Confess(f.coreFor(ref), cfg, j.rng)
+				conf := confessOrSkip(f.coreFor(ref), cfg, j.rng)
 				f.traceConfession(j.machine, j.core, conf.Confirmed, "suspect", now)
 				return conf
 			}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHistogramSnapshotCountCoversBuckets stresses the snapshot/exposition
+// read-order fix: with writers incrementing the total count before their
+// bucket, and Snapshot reading buckets before the total, every snapshot
+// taken mid-storm must satisfy count >= Σ buckets (the +Inf bucket, being
+// cumulative, equals the sum). Before the fix the writer updated its
+// bucket first, so a snapshot could observe a bucket increment whose count
+// increment hadn't landed yet and render count < Σ buckets — an exposition
+// no Prometheus consumer should ever see. Run under -race.
+func TestHistogramSnapshotCountCoversBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("stress_seconds", []float64{1, 10, 100})
+
+	const writerCount = 8
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writerCount; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := float64(w % 4) // spread observations across buckets
+			for !stop.Load() {
+				h.Observe(v * 40)
+			}
+		}(w)
+	}
+
+	const snapshots = 2000
+	for i := 0; i < snapshots; i++ {
+		snap := r.Snapshot()
+		if len(snap) != 1 {
+			t.Fatalf("snapshot has %d series", len(snap))
+		}
+		s := snap[0]
+		// Buckets are cumulative; the last (+Inf) bucket is the total of
+		// all bucket increments visible to this snapshot.
+		inBuckets := s.Buckets[len(s.Buckets)-1].Count
+		if s.Count < inBuckets {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("snapshot %d: count %d < buckets %d — a consumer saw "+
+				"an observation's bucket before its count", i, s.Count, inBuckets)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent: everything reconciles exactly.
+	snap := r.Snapshot()
+	s := snap[0]
+	if s.Count != s.Buckets[len(s.Buckets)-1].Count {
+		t.Fatalf("after quiesce count %d != buckets %d",
+			s.Count, s.Buckets[len(s.Buckets)-1].Count)
+	}
+}

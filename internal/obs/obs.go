@@ -123,13 +123,22 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+// Write order matters for concurrent scrapes: the total count is
+// incremented BEFORE the bucket count. Snapshot reads the buckets before
+// the total, so any bucket increment a snapshot observes is preceded by
+// its total-count increment — the exposed invariant is count >= Σ buckets
+// (the +Inf cumulative bucket), never the reverse. With the old
+// bucket-first order a scrape landing between the two increments could
+// render cumulative buckets exceeding _count, which Prometheus clients
+// reject as a malformed histogram.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
 	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
-	h.counts[i].Add(1)
 	h.count.Add(1)
+	h.counts[i].Add(1)
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -162,11 +171,14 @@ const (
 	kindHist    = "histogram"
 )
 
-// series is one (name, labels) instrument.
+// series is one (name, labels) instrument. Counters come in two physical
+// layouts — plain (c) and per-worker sharded (sc, see sharded.go) — that
+// render identically.
 type series struct {
 	labels []Label
 	sig    string
 	c      *Counter
+	sc     *ShardedCounter
 	g      *Gauge
 	h      *Histogram
 }
@@ -247,6 +259,9 @@ func (r *Registry) get(name, kind string, buckets []float64, labels []Label) *se
 			s.h = &Histogram{buckets: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
 		}
 		f.series[sig] = s
+	}
+	if kind == kindCounter && s.c == nil {
+		panic(fmt.Sprintf("obs: counter %q already registered sharded", name))
 	}
 	return s
 }
@@ -338,12 +353,19 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 			snap := SeriesSnapshot{Name: n, Kind: f.kind, Labels: s.labels}
 			switch f.kind {
 			case kindCounter:
-				snap.Value = s.c.Value()
+				if s.sc != nil {
+					snap.Value = s.sc.Value()
+				} else {
+					snap.Value = s.c.Value()
+				}
 			case kindGauge:
 				snap.Value = s.g.Value()
 			case kindHist:
 				// Cumulative counts, Prometheus "le" style. Reading the
 				// buckets is not atomic as a set; per-bucket counts are.
+				// Buckets are read BEFORE the total count (Observe
+				// increments the total first), so count >= Σ buckets holds
+				// in every snapshot even mid-Observe.
 				var cum uint64
 				for i, b := range f.buckets {
 					cum += s.h.counts[i].Load()

@@ -28,6 +28,17 @@ import (
 // (or one item) the calls run inline on the caller's goroutine, in order —
 // the serial reference behavior.
 func ForEach(workers, n int, fn func(int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's identity exposed: fn(w, i)
+// runs item i on worker w, where w is in [0, effective-worker-count).
+// Callers use w to index per-worker state — sharded metric counters,
+// scratch buffers — without synchronization, because a worker runs its
+// items sequentially. Which items land on which worker is scheduling-
+// dependent; only state whose merged value is order-independent (counters,
+// arenas) may be keyed by w.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -39,7 +50,7 @@ func ForEach(workers, n int, fn func(int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -51,16 +62,16 @@ func ForEach(workers, n int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 }

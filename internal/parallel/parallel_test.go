@@ -36,3 +36,59 @@ func TestForEachSerialIsInOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestForEachWorkerCoversAllIndicesWithValidWorkers(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		var hits [n]int32
+		var badWorker int32
+		ForEachWorker(workers, n, func(w, i int) {
+			if w < 0 || (workers > 0 && w >= workers) {
+				atomic.AddInt32(&badWorker, 1)
+			}
+			atomic.AddInt32(&hits[i], 1)
+		})
+		if badWorker != 0 {
+			t.Fatalf("workers=%d: %d calls saw out-of-range worker id", workers, badWorker)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSerialUsesWorkerZero(t *testing.T) {
+	var order []int
+	ForEachWorker(1, 5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial path reported worker %d", w)
+		}
+		order = append(order, i) // no synchronization: serial path runs inline
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial path visited %v, want ascending order", order)
+		}
+	}
+}
+
+// TestForEachWorkerShardIsolation is the property sharded counters rely on:
+// per-worker accumulators indexed by the reported worker id, summed after
+// the fan-out, must equal the serial total (run under -race to also prove
+// no two concurrent calls share a worker id).
+func TestForEachWorkerShardIsolation(t *testing.T) {
+	const workers, n = 8, 10000
+	shards := make([]int64, workers) // intentionally unsynchronized per-shard
+	ForEachWorker(workers, n, func(w, i int) {
+		shards[w] += int64(i)
+	})
+	var got int64
+	for _, s := range shards {
+		got += s
+	}
+	if want := int64(n) * (n - 1) / 2; got != want {
+		t.Fatalf("sharded sum = %d, want %d", got, want)
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/simtime"
+	"repro/internal/xrand"
 )
 
 // maxReportBytes caps a POST /v1/report body. A Report is a few hundred
@@ -378,8 +378,35 @@ type Client struct {
 	// RetryBackoff is the base delay before the first retry, doubled per
 	// further retry with up to 50% random jitter (0 means 50ms).
 	RetryBackoff time.Duration
+	// JitterSeed seeds the client's private retry-jitter stream; 0 (the
+	// default) seeds from the clock at first use, so independent clients
+	// de-synchronize. Tests set it for reproducible backoff schedules.
+	JitterSeed uint64
 	// sleep is a test seam; nil means time.Sleep.
 	sleep func(time.Duration)
+
+	// jitter is the client's own locked random source. The old code drew
+	// from the package-global math/rand, which made retry schedules
+	// irreproducible in tests and serialized every retrying client in the
+	// process on one global lock. A Client must not be copied after its
+	// first retry.
+	jitterMu sync.Mutex
+	jitter   *xrand.RNG
+}
+
+// jitterDelay returns a uniform duration in [0, half] from the client's
+// private stream, lazily seeding it on first use.
+func (c *Client) jitterDelay(half time.Duration) time.Duration {
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	if c.jitter == nil {
+		seed := c.JitterSeed
+		if seed == 0 {
+			seed = uint64(time.Now().UnixNano())
+		}
+		c.jitter = xrand.New(seed)
+	}
+	return time.Duration(c.jitter.Uint64n(uint64(half) + 1))
 }
 
 func (c *Client) client() *http.Client {
@@ -410,7 +437,7 @@ func (c *Client) do(send func() (*http.Response, error)) (*http.Response, error)
 			d := backoff << (attempt - 1)
 			// Full jitter on the top half de-synchronizes a fleet of
 			// reporters hammering a recovering server.
-			d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+			d = d/2 + c.jitterDelay(d/2)
 			sleep(d)
 		}
 		resp, err := send()

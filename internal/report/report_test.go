@@ -606,3 +606,78 @@ func TestServerForget(t *testing.T) {
 		t.Fatal("after Forget: suspects remain")
 	}
 }
+
+// TestClientJitterSeedReproducible pins the fix for the retry-jitter
+// source: backoff schedules come from the client's own seeded stream, not
+// the package-global math/rand, so a fixed JitterSeed gives a fixed
+// schedule and two clients with the same seed sleep identically.
+func TestClientJitterSeedReproducible(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		ft := &flakyTransport{failures: 1 << 30}
+		var slept []time.Duration
+		c := &Client{
+			BaseURL:     "http://example.invalid",
+			HTTPClient:  &http.Client{Transport: ft},
+			MaxAttempts: 5,
+			JitterSeed:  seed,
+			sleep:       func(d time.Duration) { slept = append(slept, d) },
+		}
+		if err := c.Report(Report{Machine: "m"}); err == nil {
+			t.Fatal("expected exhaustion error")
+		}
+		return slept
+	}
+
+	a, b := schedule(1234), schedule(1234)
+	if len(a) != 4 {
+		t.Fatalf("slept %d times, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+	other := schedule(5678)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seeds 1234 and 5678 produced identical schedules %v", a)
+	}
+	// Every delay still honors the jittered-exponential envelope.
+	base := defaultRetryBackoff
+	for i, d := range a {
+		if d < base/2 || d > base {
+			t.Fatalf("backoff %d = %v outside (%v, %v]", i, d, base/2, base)
+		}
+		base *= 2
+	}
+}
+
+// TestClientJitterConcurrentRetries exercises the locked jitter source from
+// concurrent calls on one client (run under -race).
+func TestClientJitterConcurrentRetries(t *testing.T) {
+	c := &Client{
+		BaseURL:    "http://example.invalid",
+		JitterSeed: 9,
+		HTTPClient: &http.Client{Transport: &flakyTransport{failures: 1 << 30}},
+		sleep:      func(time.Duration) {},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := c.Report(Report{Machine: "m"}); err == nil {
+					t.Error("expected exhaustion error")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

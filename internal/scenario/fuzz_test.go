@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the scenario decoder — the
+// YAML-subset parser in parse.go plus the schema walk in scenario.go. The
+// decoder fronts user-authored files (fleetsim validate/run), so the
+// contract is: any input either decodes or returns an error; it must never
+// panic, hang, or return (nil, nil). Seeds come from the shipped scenario
+// corpus and the invalid-file fixtures so the fuzzer starts from both
+// sides of the schema boundary.
+func FuzzDecode(f *testing.F) {
+	for _, dir := range []string{
+		filepath.Join("..", "..", "scenarios"),
+		filepath.Join("testdata", "invalid"),
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			f.Fatalf("seed dir %s: %v", dir, err)
+		}
+		seeded := 0
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".yaml" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+			seeded++
+		}
+		if seeded == 0 {
+			f.Fatalf("seed dir %s had no .yaml files", dir)
+		}
+	}
+	// Hand-picked structural edge cases the corpus doesn't cover.
+	f.Add([]byte(""))
+	f.Add([]byte("\xff\xfe"))
+	f.Add([]byte("name: x\ndays: 1\nfleet:\n"))
+	f.Add([]byte("events:\n  - day: 0\n    inject_defect: {}"))
+	f.Add([]byte("a:\n\tb: tab-indented"))
+	f.Add([]byte("assert:\n  - metric: fleet_corruptions_total\n    min: -1e309"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse("fuzz.yaml", data)
+		if err == nil && s == nil {
+			t.Fatal("Parse returned (nil, nil)")
+		}
+	})
+}

@@ -222,11 +222,44 @@ type Online struct {
 	// Metrics, when set, receives per-tick telemetry (lock-free; safe to
 	// share across worker goroutines). Nil records nothing.
 	Metrics *obs.Registry
+
+	// Sharded counter handles resolved by Bind. When unbound, ticks fall
+	// back to per-tick registry lookups (correct but slower: every tick
+	// takes the registry mutex and every worker contends on one cell).
+	ticks, ops, detections *obs.ShardedCounter
+}
+
+// onlineCounterNames are the per-tick telemetry series. They register as
+// sharded counters so concurrent workers never contend on a cache line;
+// snapshots merge the shards and render a plain counter.
+const (
+	onlineTicksName      = "screen_online_ticks_total"
+	onlineOpsName        = "screen_online_ops_total"
+	onlineDetectionsName = "screen_online_detections_total"
+)
+
+// Bind resolves the per-tick counters once, sharded across `workers`
+// cells, so recording from worker w (TickOn) is a single uncontended
+// atomic add. Call from one goroutine before fanning ticks out; a nil
+// Metrics registry makes Bind a no-op.
+func (o *Online) Bind(workers int) {
+	if o.Metrics == nil {
+		return
+	}
+	o.ticks = o.Metrics.ShardedCounter(onlineTicksName, workers)
+	o.ops = o.Metrics.ShardedCounter(onlineOpsName, workers)
+	o.detections = o.Metrics.ShardedCounter(onlineDetectionsName, workers)
 }
 
 // Tick runs one online screening slice against core and returns the
 // (possibly empty) detections plus the ops consumed.
 func (o *Online) Tick(core *fault.Core, rng *xrand.RNG) ([]corpus.Result, uint64) {
+	return o.TickOn(core, rng, 0)
+}
+
+// TickOn is Tick with the caller's worker identity, which routes the
+// telemetry to that worker's counter shard (see parallel.ForEachWorker).
+func (o *Online) TickOn(core *fault.Core, rng *xrand.RNG, worker int) ([]corpus.Result, uint64) {
 	ws := o.Workloads
 	if ws == nil {
 		ws = corpus.All()
@@ -246,10 +279,17 @@ func (o *Online) Tick(core *fault.Core, rng *xrand.RNG) ([]corpus.Result, uint64
 		}
 	}
 	ops := core.TotalOps() - start
-	if o.Metrics != nil {
-		o.Metrics.Counter("screen_online_ticks_total").Inc()
-		o.Metrics.Counter("screen_online_ops_total").Add(float64(ops))
-		o.Metrics.Counter("screen_online_detections_total").Add(float64(len(found)))
+	switch {
+	case o.ticks != nil:
+		o.ticks.Shard(worker).Inc()
+		o.ops.Shard(worker).Add(float64(ops))
+		o.detections.Shard(worker).Add(float64(len(found)))
+	case o.Metrics != nil:
+		// Unbound path: look the sharded families up per tick so the
+		// series stay kind-consistent with the bound path.
+		o.Metrics.ShardedCounter(onlineTicksName, 1).Shard(worker).Inc()
+		o.Metrics.ShardedCounter(onlineOpsName, 1).Shard(worker).Add(float64(ops))
+		o.Metrics.ShardedCounter(onlineDetectionsName, 1).Shard(worker).Add(float64(len(found)))
 	}
 	return found, ops
 }

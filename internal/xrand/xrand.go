@@ -70,18 +70,42 @@ func (r *RNG) Fork(label uint64) *RNG {
 	return New(splitmix64(&x))
 }
 
+// ForkInto is Fork without the allocation: it reseeds dst in place to the
+// exact state Fork(label) would return. Hot loops that fork thousands of
+// streams per simulated day reuse one RNG value instead of churning the
+// heap.
+func (r *RNG) ForkInto(label uint64, dst *RNG) {
+	x := r.Uint64() ^ (label * 0xda942042e4dd58b5)
+	dst.Reseed(splitmix64(&x))
+}
+
+// FNV-1a parameters, used for string fork labels.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv1a folds s into an FNV-1a hash state h.
+func fnv1a(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // ForkString forks using a string label hashed with FNV-1a.
 func (r *RNG) ForkString(label string) *RNG {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	var h uint64 = offset64
-	for i := 0; i < len(label); i++ {
-		h ^= uint64(label[i])
-		h *= prime64
-	}
-	return r.Fork(h)
+	return r.Fork(fnv1a(fnvOffset64, label))
+}
+
+// ForkStringInto reseeds dst to the state ForkString(prefix+rest) would
+// produce, without allocating the concatenated label or the generator.
+// FNV-1a hashes bytes sequentially, so hashing the two parts in order is
+// identical to hashing their concatenation — the streams are bit-for-bit
+// the same as the allocating path.
+func (r *RNG) ForkStringInto(prefix, rest string, dst *RNG) {
+	r.ForkInto(fnv1a(fnv1a(fnvOffset64, prefix), rest), dst)
 }
 
 // Int63 returns a non-negative random int64.

@@ -431,3 +431,59 @@ func BenchmarkNormFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestForkIntoMatchesFork(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	var dst RNG
+	for _, label := range []uint64{0, 1, 42, 1 << 63} {
+		forked := a.Fork(label)
+		b.ForkInto(label, &dst)
+		for i := 0; i < 64; i++ {
+			if x, y := forked.Uint64(), dst.Uint64(); x != y {
+				t.Fatalf("label %d draw %d: Fork %d != ForkInto %d", label, i, x, y)
+			}
+		}
+	}
+	// The parents must have consumed identical randomness.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("parents diverged after forking")
+	}
+}
+
+func TestForkStringIntoMatchesConcatForkString(t *testing.T) {
+	cases := []struct{ prefix, rest string }{
+		{"prod:", "m00017/c03"},
+		{"screen:", "m00000/c00"},
+		{"", ""},
+		{"a", "b"},
+		{"confess:", "x/y/z with spaces"},
+	}
+	for _, c := range cases {
+		a := New(7)
+		b := New(7)
+		forked := a.ForkString(c.prefix + c.rest)
+		var dst RNG
+		b.ForkStringInto(c.prefix, c.rest, &dst)
+		for i := 0; i < 64; i++ {
+			if x, y := forked.Uint64(), dst.Uint64(); x != y {
+				t.Fatalf("%q+%q draw %d: ForkString %d != ForkStringInto %d",
+					c.prefix, c.rest, i, x, y)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("%q+%q: parents diverged", c.prefix, c.rest)
+		}
+	}
+}
+
+func TestForkStringIntoAllocFree(t *testing.T) {
+	r := New(3)
+	var dst RNG
+	allocs := testing.AllocsPerRun(100, func() {
+		r.ForkStringInto("prod:", "m00017/c03", &dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForkStringInto allocates %v per call, want 0", allocs)
+	}
+}
