@@ -1,0 +1,224 @@
+// Command ceectl is the operator CLI for ceereportd's machine-lifecycle
+// control plane:
+//
+//	ceectl -addr http://localhost:8080 list              # full ledger
+//	ceectl list -state cordoned                          # filter by state
+//	ceectl show m00042                                   # one machine
+//	ceectl cordon m00042 -reason "convicted, score 9.1"  # operator verbs
+//	ceectl drain m00042
+//	ceectl repair m00042
+//	ceectl release m00042 -reason "repair verified"
+//	ceectl remove m00042 -reason "recidivist"
+//	ceectl stats                                         # service stats
+//	ceectl flood -n 200 -machines 50 -batch 64           # batched load
+//
+// Exit status: 0 on success, 1 when the server rejects the request (for
+// a verb, typically an illegal lifecycle transition → HTTP 409), 2 on
+// usage errors.
+//
+// flood exists for smoke tests: it ships n batches of synthetic crash
+// reports through POST /v1/reports, riding the client's retry/Retry-After
+// handling when the server sheds, and prints the delivery accounting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+)
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: ceectl [-addr URL] <command> [flags] [machine]
+
+Commands:
+  list [-state S]          list machine lifecycle records
+  show <machine>           show one machine's record
+  cordon <machine>         stop scheduling new work on the machine
+  drain <machine>          cordon + migrate work away (completes immediately)
+  repair <machine>         send a drained machine to repairs
+  release <machine>        return a machine to service (repaired → probation,
+                           drained/probation/suspect → healthy)
+  remove <machine>         permanently decommission the machine
+  stats                    report-service statistics
+  flood [-n N] [-machines M] [-batch B] [-source S]
+                           ship N synthetic report batches (smoke/load tool)
+  help                     show this message
+
+The -addr flag (default http://localhost:8080, or $CEEREPORTD_ADDR)
+must precede the command. Verb flags: -reason, -actor, -day.
+`)
+}
+
+func main() {
+	global := flag.NewFlagSet("ceectl", flag.ExitOnError)
+	addr := global.String("addr", defaultAddr(), "ceereportd base URL")
+	global.Usage = func() { usage(os.Stderr) }
+	global.Parse(os.Args[1:])
+	args := global.Args()
+	if len(args) == 0 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	client := &report.Client{BaseURL: *addr}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cmd := args[0]
+	switch cmd {
+	case "list":
+		os.Exit(cmdList(ctx, client, args[1:]))
+	case "show":
+		os.Exit(cmdShow(ctx, client, args[1:]))
+	case "cordon", "drain", "repair", "release", "remove":
+		os.Exit(cmdVerb(ctx, client, cmd, args[1:]))
+	case "stats":
+		os.Exit(cmdStats(ctx, client))
+	case "flood":
+		os.Exit(cmdFlood(ctx, client, args[1:]))
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "ceectl: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+func defaultAddr() string {
+	if a := os.Getenv("CEEREPORTD_ADDR"); a != "" {
+		return a
+	}
+	return "http://localhost:8080"
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "ceectl: %v\n", err)
+	return 1
+}
+
+func printRecord(m report.MachineJSON) {
+	fmt.Printf("%-12s %-10s since_day=%-4d repairs=%d transitions=%d",
+		m.Machine, m.State, m.SinceDay, m.RepairCycles, m.Transitions)
+	if m.LastReason != "" {
+		fmt.Printf(" reason=%q", m.LastReason)
+	}
+	fmt.Println()
+}
+
+func cmdList(ctx context.Context, c *report.Client, args []string) int {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	state := fs.String("state", "", "filter by lifecycle state")
+	fs.Parse(args)
+	machines, err := c.Machines(ctx, *state)
+	if err != nil {
+		return fail(err)
+	}
+	for _, m := range machines {
+		printRecord(m)
+	}
+	fmt.Fprintf(os.Stderr, "%d machine(s)\n", len(machines))
+	return 0
+}
+
+func cmdShow(ctx context.Context, c *report.Client, args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ceectl show <machine>")
+		return 2
+	}
+	m, err := c.Machine(ctx, args[0])
+	if err != nil {
+		return fail(err)
+	}
+	printRecord(m)
+	return 0
+}
+
+func cmdVerb(ctx context.Context, c *report.Client, verb string, args []string) int {
+	fs := flag.NewFlagSet(verb, flag.ExitOnError)
+	reason := fs.String("reason", "", "reason recorded in the lifecycle ledger")
+	actor := fs.String("actor", "ceectl", "actor recorded in the lifecycle ledger")
+	day := fs.Int("day", 0, "ledger day stamp")
+	// Accept the machine before the flags ("ceectl cordon m1 -reason x")
+	// — the natural word order — as well as after them.
+	var machine string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		machine, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if machine == "" && fs.NArg() == 1 {
+		machine = fs.Arg(0)
+	} else if fs.NArg() != 0 || machine == "" {
+		fmt.Fprintf(os.Stderr, "usage: ceectl %s <machine> [-reason R] [-actor A] [-day D]\n", verb)
+		return 2
+	}
+	m, err := c.MachineAction(ctx, machine, verb, report.ActionRequest{
+		Reason: *reason, Actor: *actor, Day: *day,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	printRecord(m)
+	return 0
+}
+
+func cmdStats(ctx context.Context, c *report.Client) int {
+	s, err := c.StatsContext(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("total_reports=%d machines=%d suspects=%d\n",
+		s.TotalReports, s.Machines, s.Suspects)
+	return 0
+}
+
+func cmdFlood(ctx context.Context, c *report.Client, args []string) int {
+	fs := flag.NewFlagSet("flood", flag.ExitOnError)
+	n := fs.Int("n", 100, "number of batches to send")
+	machines := fs.Int("machines", 20, "distinct machines to spread reports over")
+	batch := fs.Int("batch", 32, "reports per batch")
+	source := fs.String("source", "ceectl-flood", "batch source id (idempotency key)")
+	fs.Parse(args)
+	if *n <= 0 || *machines <= 0 || *batch <= 0 {
+		fmt.Fprintln(os.Stderr, "ceectl flood: -n, -machines, -batch must be positive")
+		return 2
+	}
+	counts := map[string]int{}
+	for seq := 1; seq <= *n; seq++ {
+		reports := make([]report.Report, *batch)
+		for i := range reports {
+			m := (seq**batch + i) % *machines
+			reports[i] = report.Report{
+				Machine: fmt.Sprintf("m%05d", m),
+				Core:    m % 8, // concentrate per machine so suspects nominate
+				Kind:    "crash",
+				Detail:  "ceectl flood",
+				TimeSec: float64(seq),
+			}
+		}
+		ack, err := c.ReportBatchContext(ctx, report.Batch{
+			Source: *source, Seq: uint64(seq), Reports: reports,
+		})
+		if err != nil {
+			// Shed through every retry: count it and keep flooding — the
+			// point of the tool is to observe backpressure, not die to it.
+			counts["shed"]++
+			continue
+		}
+		counts[ack.Status]++
+	}
+	fmt.Printf("flood: sent=%d accepted=%d deferred=%d replaced=%d duplicate=%d shed=%d\n",
+		*n, counts["accepted"], counts["deferred"], counts["replaced"],
+		counts["duplicate"], counts["shed"])
+	if counts["accepted"]+counts["deferred"]+counts["replaced"] == 0 {
+		fmt.Fprintln(os.Stderr, "ceectl flood: no batch was accepted")
+		return 1
+	}
+	return 0
+}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	ceereportd -addr :8080 -cores-per-machine 64
+//	ceereportd -addr :8080 -cores-per-machine 64 \
+//	           -wal /var/lib/ceereportd/lifecycle.wal -queue 65536
 //
 // API:
 //
@@ -14,22 +15,35 @@
 //	                  object, or core < -1 (-1 means machine-level
 //	                  attribution); 405 on a non-POST method; 413 when the
 //	                  body exceeds 64 KiB
+//	POST /v1/reports  {"source":"host-a","seq":7,"reports":[...]} → 202 on
+//	                  accept/defer, 200 on an idempotent duplicate, 429 +
+//	                  Retry-After when the bounded ingest queue sheds,
+//	                  413 beyond 1 MiB
 //	GET  /v1/suspects → 200, JSON array of nominated suspects
 //	GET  /v1/stats    → 200, {"total_reports":N,"machines":N,"suspects":N}
 //	                  — machines counts every distinct machine that has
 //	                  ever reported, not just those hosting suspects
 //	GET  /v1/metrics  → 200, Prometheus text format (version 0.0.4):
 //	                  accepted signals by kind, rejected reports by
-//	                  reason, totals
+//	                  reason, totals, queue/shed counters
 //	GET  /v1/healthz  → 200, {"status":"ok"} — liveness probe
+//	GET  /v1/machines — machine-lifecycle ledger (with -wal); plus
+//	                  GET /v1/machines/{id} and the operator verbs
+//	                  POST /v1/machines/{id}/{cordon,drain,repair,release,remove}
 //
 // Error contract: every non-2xx response carries Content-Type
 // application/json and the uniform envelope {"error":"<human-readable
 // cause>"}, so clients and load balancers never have to parse free-form
 // text bodies.
 //
+// With -wal, every lifecycle transition is appended (CRC-framed, fsynced)
+// to the write-ahead log before it is acknowledged, and the ledger is
+// replayed from the log on startup — a kill -9 loses at most a torn tail
+// write, never an acknowledged transition.
+//
 // The server drains gracefully: SIGINT/SIGTERM stops accepting new
-// connections and waits (bounded) for in-flight requests before exiting.
+// connections and waits (bounded) for in-flight requests before exiting,
+// then flushes the ingest queue.
 package main
 
 import (
@@ -44,12 +58,16 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/lifecycle"
 	"repro/internal/report"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cores := flag.Int("cores-per-machine", 64, "cores per machine (concentration-test shape)")
+	walPath := flag.String("wal", "", "machine-lifecycle WAL path (empty disables the /v1/machines admin API)")
+	queue := flag.Int("queue", 0, "bounded ingest-queue capacity in signals (0 = synchronous ingest)")
+	maxRepairs := flag.Int("max-repairs", 2, "repair cycles before a recidivist machine is permanently removed")
 	flag.Parse()
 
 	if *cores <= 0 {
@@ -57,6 +75,27 @@ func main() {
 		os.Exit(2)
 	}
 	srv := report.NewServer(*cores)
+	var life *lifecycle.Manager
+	if *walPath != "" {
+		var (
+			info lifecycle.RecoverInfo
+			err  error
+		)
+		life, info, err = lifecycle.Open(*walPath, lifecycle.Options{
+			MaxRepairs: *maxRepairs,
+			Metrics:    srv.Metrics(),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ceereportd: lifecycle WAL: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("ceereportd: lifecycle ledger recovered from %s (%d records, %d torn bytes truncated)",
+			*walPath, info.Records, info.TornBytes)
+		srv.SetLifecycle(life)
+	}
+	if *queue > 0 {
+		srv.EnableQueue(*queue)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -91,6 +130,14 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("ceereportd: serve: %v", err)
 		os.Exit(1)
+	}
+	// HTTP is quiesced: flush the ingest queue, then seal the WAL.
+	srv.Close()
+	if life != nil {
+		if err := life.Close(); err != nil {
+			log.Printf("ceereportd: lifecycle close: %v", err)
+			os.Exit(1)
+		}
 	}
 	log.Print("ceereportd: drained cleanly")
 }

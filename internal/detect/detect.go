@@ -259,6 +259,14 @@ func (t *Tracker) Suspects() []Suspect {
 			})
 		}
 	}
+	sortSuspects(out)
+	return out
+}
+
+// sortSuspects orders suspects by Score (highest first), ties broken
+// deterministically by (machine, core) — the ranking contract shared by
+// Tracker and ShardedTracker.
+func sortSuspects(out []Suspect) {
 	sort.Slice(out, func(i, j int) bool {
 		si, sj := out[i].Score(), out[j].Score()
 		if si != sj {
@@ -269,7 +277,6 @@ func (t *Tracker) Suspects() []Suspect {
 		}
 		return out[i].Core < out[j].Core
 	})
-	return out
 }
 
 func copyKinds(in map[SignalKind]int) map[SignalKind]int {

@@ -15,6 +15,7 @@ import (
 	"strconv"
 
 	"repro/internal/fault"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/simtime"
 )
@@ -122,6 +123,14 @@ func (f *Fleet) DrainMachine(id string) error {
 		return err
 	}
 	m.drained = true
+	// Record the maintenance drain in the lifecycle ledger when the
+	// control plane is on. Best-effort: a ledger oddity (say, the machine
+	// was already removed) must not undo the cluster drain above.
+	if f.life != nil {
+		if st, _ := f.life.Drain(id, f.day, "maintenance", "operator"); st == lifecycle.Draining {
+			f.life.MarkDrained(id, f.day, "operator")
+		}
+	}
 	return nil
 }
 
@@ -140,6 +149,51 @@ func (f *Fleet) UndrainMachine(id string) error {
 		return err
 	}
 	m.drained = false
+	if f.life != nil {
+		// Reintroduce is an idempotent no-op for ledger-healthy machines;
+		// errors (e.g. a removed machine) are deliberately not fatal here —
+		// the cluster state above is authoritative for the simulator.
+		f.life.Reintroduce(id, f.day, "maintenance complete", "operator")
+	}
+	return nil
+}
+
+// CordonMachine stops new placements on the machine while its running
+// tasks continue — the operator's light-touch isolation verb (contrast
+// DrainMachine, which evicts). With the control plane enabled, the
+// cordon is recorded in the lifecycle ledger, where a machine past its
+// repair budget escalates to permanent removal. Cordoning a cordoned
+// machine is a no-op.
+func (f *Fleet) CordonMachine(id string) error {
+	if _, err := f.lookupMachine(id); err != nil {
+		return err
+	}
+	if err := f.cluster.Cordon(id); err != nil {
+		return err
+	}
+	if f.life != nil {
+		if _, err := f.life.Cordon(id, f.day, "operator cordon", "operator"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReleaseMachine lifts a cordon: the machine schedules new work again
+// and, with the control plane enabled, returns to healthy in the
+// lifecycle ledger. Releasing an uncordoned machine is a no-op.
+func (f *Fleet) ReleaseMachine(id string) error {
+	if _, err := f.lookupMachine(id); err != nil {
+		return err
+	}
+	if err := f.cluster.Uncordon(id); err != nil {
+		return err
+	}
+	if f.life != nil {
+		if _, err := f.life.Reintroduce(id, f.day, "operator release", "operator"); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

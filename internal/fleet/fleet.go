@@ -29,6 +29,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/detect"
 	"repro/internal/fault"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/quarantine"
 	"repro/internal/report"
@@ -110,6 +111,12 @@ type Config struct {
 	// taskrun.go); the zero value disables it and, like KVDB, consumes
 	// no randomness when disabled.
 	TaskRun TaskRunConfig
+	// Lifecycle enables the machine-lifecycle control plane (see
+	// lifecycle.go in this package and internal/lifecycle): a per-machine
+	// ledger of cordon/drain/repair/probation transitions, recidivist
+	// removal, and probationary reintroduction. The zero value disables
+	// it and changes nothing.
+	Lifecycle LifecycleConfig
 }
 
 // SKU is one CPU product population in the fleet.
@@ -275,6 +282,11 @@ type DayStats struct {
 	// re-executions, placements migrated, checkpoint restores, suspect
 	// signals escalated, and tasks that exhausted their retries.
 	TRGranules, TRRetries, TRMigrations, TRRestores, TRSignals, TRFailures int
+	// Life* count the machine-lifecycle ledger's day (zero unless
+	// Config.Lifecycle enables the control plane): machines cordoned,
+	// fully drained, permanently removed (recidivists), and moved back
+	// toward service (into probation or healthy) today.
+	LifeCordoned, LifeDrained, LifeRemoved, LifeReintroduced int
 }
 
 // TriageStats tracks the human-triage ledger for experiment E5. The paper
@@ -358,6 +370,13 @@ type Fleet struct {
 	// point is the fleet-wide operating point (see SetOperatingPoint);
 	// materialized cores carry their own copy.
 	point fault.OperatingPoint
+	// life is the machine-lifecycle ledger (nil unless Config.Lifecycle
+	// enables the control plane); lifePending buffers the day's ledger
+	// transitions for DayStats; probation maps machine id → the day its
+	// probation window expires. See lifecycle.go.
+	life        *lifecycle.Manager
+	lifePending lifeCounters
+	probation   map[string]int
 }
 
 // New builds the fleet population deterministically from cfg.
@@ -444,6 +463,9 @@ func New(cfg Config) *Fleet {
 		}
 		f.machines = append(f.machines, m)
 	}
+	// The control plane consumes no randomness; order relative to the
+	// workload builds below is immaterial.
+	f.buildLifecycle()
 	// The opt-in workloads build last so their streams fork after the
 	// population's; disabled (the default), they fork nothing.
 	if cfg.KVDB.Stores > 0 {

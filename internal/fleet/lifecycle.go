@@ -1,0 +1,170 @@
+package fleet
+
+// Machine-lifecycle control-plane wiring (see internal/lifecycle). When
+// Config.Lifecycle enables it, the simulator keeps the same ledger the
+// report daemon serves over its admin API: convicted machines are
+// cordoned → drained in the ledger as quarantine drains them, repairs
+// send them through repairing → probation, and a clean probation window
+// releases them to healthy. A machine that burns through its repair
+// budget is escalated to permanent removal (the recidivist policy) — it
+// keeps its drain and never gets another repair ticket.
+//
+// Every call in this file happens in the day loop's serial phases (or in
+// between-day event hooks), and the lifecycle package consumes no
+// randomness, so an enabled control plane preserves the bit-identical-
+// at-any-parallelism contract.
+
+import (
+	"sort"
+
+	"repro/internal/lifecycle"
+	"repro/internal/obs"
+)
+
+// LifecycleConfig enables the machine-lifecycle control plane inside the
+// simulator. The zero value disables it and changes nothing — no ledger,
+// no recidivist removal, no probation accounting.
+type LifecycleConfig struct {
+	// Enabled switches the control plane on.
+	Enabled bool
+	// MaxRepairs is the recidivist threshold: after this many completed
+	// repair cycles the next cordon escalates to permanent removal.
+	// 0 means the lifecycle package default (2).
+	MaxRepairs int
+	// ProbationDays is how long a repaired machine stays in probation
+	// before a clean record releases it to healthy. 0 means 7.
+	ProbationDays int
+	// WALPath, when set, persists every ledger transition to a CRC-framed
+	// write-ahead log (replayed if the file already holds records). Empty
+	// keeps the ledger memory-only — the usual simulator configuration.
+	WALPath string
+}
+
+// lifeCounters buffers one day's ledger transitions for DayStats.
+type lifeCounters struct {
+	cordoned, drained, removed, reintroduced int
+}
+
+// buildLifecycle constructs the manager in New when the config enables it.
+func (f *Fleet) buildLifecycle() {
+	cfg := f.cfg.Lifecycle
+	if !cfg.Enabled {
+		return
+	}
+	f.probation = map[string]int{}
+	opts := lifecycle.Options{MaxRepairs: cfg.MaxRepairs, Observer: f.lifeObserve}
+	if cfg.WALPath == "" {
+		f.life = lifecycle.NewManager(opts)
+		return
+	}
+	life, _, err := lifecycle.Open(cfg.WALPath, opts)
+	if err != nil {
+		panic("fleet: lifecycle WAL: " + err.Error())
+	}
+	f.life = life
+}
+
+// Lifecycle returns the machine-lifecycle ledger (nil when disabled).
+func (f *Fleet) Lifecycle() *lifecycle.Manager { return f.life }
+
+// lifeObserve is the manager's transition observer: it tallies the day's
+// counters for DayStats and mirrors them into the metrics registry. It
+// runs inside the manager's lock but only ever from the fleet's own
+// serial phases.
+func (f *Fleet) lifeObserve(t lifecycle.Transition) {
+	switch t.To {
+	case lifecycle.Cordoned.String():
+		f.lifePending.cordoned++
+	case lifecycle.Drained.String():
+		f.lifePending.drained++
+	case lifecycle.Removed.String():
+		f.lifePending.removed++
+	case lifecycle.Probation.String(), lifecycle.Healthy.String():
+		// Both count as "coming back toward service": repair completion
+		// lands in probation, releases and exonerations land in healthy.
+		f.lifePending.reintroduced++
+	}
+	if f.obs != nil {
+		f.obs.Counter("lifecycle_transitions_total", obs.L("to", t.To)).Inc()
+	}
+}
+
+// probationDays returns the configured probation window with its default.
+func (f *Fleet) probationDays() int {
+	if d := f.cfg.Lifecycle.ProbationDays; d > 0 {
+		return d
+	}
+	return 7
+}
+
+// lifeConvict records a conviction-driven machine drain in the ledger:
+// cordon (possibly escalating), drain, and — because Cluster.Drain
+// already evicted the tasks synchronously — drained, all stamped today.
+// It returns true when the cordon escalated to permanent removal: the
+// caller must not schedule a repair ticket, the machine stays drained.
+func (f *Fleet) lifeConvict(machine string, day int) bool {
+	if f.life == nil {
+		return false
+	}
+	st, _ := f.life.Drain(machine, day, "convicted mercurial core", "quarantine")
+	if st == lifecycle.Removed {
+		return true
+	}
+	f.life.MarkDrained(machine, day, "quarantine")
+	return false
+}
+
+// lifeRepairComplete moves a repaired machine through repairing into
+// probation and schedules the probation expiry.
+func (f *Fleet) lifeRepairComplete(machine string, day int) {
+	if f.life == nil {
+		return
+	}
+	f.life.StartRepair(machine, day, "repair")
+	st, _ := f.life.Reintroduce(machine, day, "silicon replaced", "repair")
+	if st == lifecycle.Probation {
+		f.probation[machine] = day + f.probationDays()
+	}
+}
+
+// lifeCoreRepaired clears a machine's suspect mark after a core-granular
+// repair (the machine itself was never drained, so there is no probation).
+func (f *Fleet) lifeCoreRepaired(machine string, day int) {
+	if f.life == nil {
+		return
+	}
+	if rec, ok := f.life.State(machine); ok && rec.State == lifecycle.Suspect {
+		f.life.Reintroduce(machine, day, "core repaired", "repair")
+	}
+}
+
+// lifeEndOfDay releases machines whose probation window expired cleanly
+// (sorted order — the map must never leak iteration order into the
+// ledger) and flushes the day's transition counters into st.
+func (f *Fleet) lifeEndOfDay(day int, st *DayStats) {
+	if f.life == nil {
+		return
+	}
+	if len(f.probation) > 0 {
+		due := make([]string, 0, len(f.probation))
+		for m, until := range f.probation {
+			if until <= day {
+				due = append(due, m)
+			}
+		}
+		sort.Strings(due)
+		for _, m := range due {
+			// A machine re-convicted during probation has moved on; its
+			// expiry entry is stale and just dropped.
+			if rec, ok := f.life.State(m); ok && rec.State == lifecycle.Probation {
+				f.life.Reintroduce(m, day, "probation clean", "fleet")
+			}
+			delete(f.probation, m)
+		}
+	}
+	st.LifeCordoned = f.lifePending.cordoned
+	st.LifeDrained = f.lifePending.drained
+	st.LifeRemoved = f.lifePending.removed
+	st.LifeReintroduced = f.lifePending.reintroduced
+	f.lifePending = lifeCounters{}
+}

@@ -246,6 +246,10 @@ func (f *Fleet) Step() DayStats {
 	f.processRepairs(day, &st)
 	pc.mark("repairs")
 
+	// Phase 7b: lifecycle probation expiry and day-counter flush (serial;
+	// no-op when the control plane is disabled).
+	f.lifeEndOfDay(day, &st)
+
 	return st
 }
 
@@ -457,6 +461,14 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 		return
 	}
 	f.traceNominations(suspects, now)
+	if f.life != nil {
+		// Ledger first contact: nominated machines turn suspect (no-op for
+		// machines already being acted on). Suspect order is deterministic,
+		// so the ledger's transition sequence is too.
+		for _, s := range suspects {
+			f.life.MarkSuspect(s.Machine, f.day-1, "concentration nomination")
+		}
+	}
 	jobs := make([]confessJob, len(suspects))
 	var runnable []int
 	for i, s := range suspects {
@@ -510,7 +522,10 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 		if rec.Mode == quarantine.MachineDrain {
 			m.drained = true
 			f.server.Forget(s.Machine)
-			if f.cfg.RepairAfterDays > 0 {
+			// A recidivist conviction escalates to permanent removal in the
+			// lifecycle ledger: the machine stays drained, no repair ticket.
+			permanent := f.lifeConvict(s.Machine, f.day-1)
+			if f.cfg.RepairAfterDays > 0 && !permanent {
 				f.repairQueue = append(f.repairQueue, repairTicket{
 					machine: s.Machine, core: -1,
 					dueDay: f.day - 1 + f.cfg.RepairAfterDays,
@@ -563,6 +578,7 @@ func (f *Fleet) processRepairs(day int, st *DayStats) {
 				st.RepairsDone++
 				f.traceRepair(tk.machine, -1, day)
 			}
+			f.lifeRepairComplete(tk.machine, day)
 			continue
 		}
 		f.retireDefect(tk.machine, tk.core)
@@ -577,6 +593,7 @@ func (f *Fleet) processRepairs(day int, st *DayStats) {
 			st.RepairsDone++
 			f.traceRepair(tk.machine, tk.core, day)
 		}
+		f.lifeCoreRepaired(tk.machine, day)
 	}
 	f.repairQueue = keep
 }

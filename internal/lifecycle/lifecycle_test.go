@@ -1,0 +1,217 @@
+package lifecycle
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestStateNamesRoundTrip(t *testing.T) {
+	for _, name := range StateNames() {
+		s, err := StateByName(name)
+		if err != nil {
+			t.Fatalf("StateByName(%q): %v", name, err)
+		}
+		if s.String() != name {
+			t.Fatalf("State %v renders %q, want %q", s, s.String(), name)
+		}
+	}
+	if _, err := StateByName("bogus"); err == nil {
+		t.Fatal("StateByName(bogus) should fail")
+	}
+}
+
+func TestRepairLoop(t *testing.T) {
+	m := NewManager(Options{})
+	steps := []struct {
+		f    func() (State, error)
+		want State
+	}{
+		{func() (State, error) { return m.MarkSuspect("m1", 1, "nominated") }, Suspect},
+		{func() (State, error) { return m.Cordon("m1", 2, "score 9", "op") }, Cordoned},
+		{func() (State, error) { return m.Drain("m1", 2, "", "op") }, Draining},
+		{func() (State, error) { return m.MarkDrained("m1", 3, "op") }, Drained},
+		{func() (State, error) { return m.StartRepair("m1", 3, "op") }, Repairing},
+		{func() (State, error) { return m.Reintroduce("m1", 10, "", "op") }, Probation},
+		{func() (State, error) { return m.Reintroduce("m1", 17, "clean probation", "op") }, Healthy},
+	}
+	for i, s := range steps {
+		got, err := s.f()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got != s.want {
+			t.Fatalf("step %d: state %v, want %v", i, got, s.want)
+		}
+	}
+	rec, ok := m.State("m1")
+	if !ok || rec.State != Healthy || rec.RepairCycles != 1 {
+		t.Fatalf("final record %+v, want healthy with 1 repair cycle", rec)
+	}
+}
+
+func TestIllegalTransitionsRejected(t *testing.T) {
+	m := NewManager(Options{})
+	if _, err := m.MarkDrained("m1", 0, "op"); err == nil {
+		t.Fatal("healthy → drained must be rejected")
+	}
+	if _, err := m.StartRepair("m1", 0, "op"); err == nil {
+		t.Fatal("healthy → repairing must be rejected")
+	}
+	if _, err := m.Remove("m1", 0, "", "op"); err != nil {
+		t.Fatalf("healthy → removed is legal: %v", err)
+	}
+	if _, err := m.Cordon("m1", 1, "", "op"); err == nil {
+		t.Fatal("removed → cordoned must be rejected")
+	}
+	if _, err := m.Reintroduce("m1", 1, "", "op"); err == nil {
+		t.Fatal("removed → healthy must be rejected")
+	}
+	// The failed attempts must not have corrupted the record.
+	rec, _ := m.State("m1")
+	if rec.State != Removed {
+		t.Fatalf("state %v, want removed", rec.State)
+	}
+}
+
+func TestIdempotentTransitions(t *testing.T) {
+	dir := t.TempDir()
+	m, _, err := Open(filepath.Join(dir, "l.wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Cordon("m1", 0, "", "op"); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := m.Cordon("m1", 1, "", "op"); err != nil || st != Cordoned {
+		t.Fatalf("repeat cordon: %v %v", st, err)
+	}
+	rec, _ := m.State("m1")
+	if rec.Transitions != 1 {
+		t.Fatalf("repeat cordon appended a transition: %d", rec.Transitions)
+	}
+}
+
+func TestRecidivistEscalation(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(Options{MaxRepairs: 2, Metrics: reg})
+	cycle := func(day int) State {
+		if _, err := m.Cordon("m1", day, "convicted", "detector"); err != nil {
+			t.Fatal(err)
+		}
+		rec, _ := m.State("m1")
+		if rec.State == Removed {
+			return Removed
+		}
+		mustStep := func(f func() (State, error)) {
+			if _, err := f(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustStep(func() (State, error) { return m.Drain("m1", day, "", "op") })
+		mustStep(func() (State, error) { return m.MarkDrained("m1", day, "op") })
+		mustStep(func() (State, error) { return m.StartRepair("m1", day, "op") })
+		mustStep(func() (State, error) { return m.Reintroduce("m1", day+5, "", "op") })
+		mustStep(func() (State, error) { return m.Reintroduce("m1", day+10, "", "op") })
+		rec, _ = m.State("m1")
+		return rec.State
+	}
+	if st := cycle(0); st != Healthy {
+		t.Fatalf("cycle 1 ended %v, want healthy", st)
+	}
+	if st := cycle(20); st != Healthy {
+		t.Fatalf("cycle 2 ended %v, want healthy", st)
+	}
+	// Third conviction: repair budget exhausted → permanent removal.
+	st, err := m.Cordon("m1", 40, "convicted again", "detector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Removed {
+		t.Fatalf("third cordon gave %v, want removed", st)
+	}
+	rec, _ := m.State("m1")
+	if rec.RepairCycles != 2 {
+		t.Fatalf("repair cycles %d, want 2", rec.RepairCycles)
+	}
+	if !strings.Contains(rec.LastReason, "recidivist") {
+		t.Fatalf("removal reason %q should mention recidivist", rec.LastReason)
+	}
+}
+
+func TestWALPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l.wal")
+	m, info, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.TornBytes != 0 {
+		t.Fatalf("fresh log recovered %+v", info)
+	}
+	if _, err := m.Drain("m7", 3, "maintenance", "op"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MarkSuspect("m2", 4, "nominated"); err != nil {
+		t.Fatal(err)
+	}
+	want := m.List()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, info, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if info.TornBytes != 0 {
+		t.Fatalf("clean log reported torn bytes: %+v", info)
+	}
+	if info.Records != 3 { // cordon+draining for m7, suspect for m2
+		t.Fatalf("recovered %d records, want 3", info.Records)
+	}
+	if got := m2.List(); !recordsEqual(got, want) {
+		t.Fatalf("recovered ledger %+v != pre-close %+v", got, want)
+	}
+	// And the reopened manager keeps appending from the right seq.
+	if _, err := m2.MarkDrained("m7", 5, "op"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m3, info, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if info.Records != 4 {
+		t.Fatalf("after second reopen recovered %d records, want 4", info.Records)
+	}
+}
+
+func TestObserverSeesTransitions(t *testing.T) {
+	var seen []Transition
+	m := NewManager(Options{Observer: func(tr Transition) { seen = append(seen, tr) }})
+	if _, err := m.Drain("m1", 2, "", "op"); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0].To != "cordoned" || seen[1].To != "draining" {
+		t.Fatalf("observer saw %+v", seen)
+	}
+}
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package report
+
+// Machine-lifecycle admin API. When SetLifecycle attaches a manager, the
+// server exposes the fleet's machine ledger and the operator verbs —
+// cordon, drain, repair, release, remove — under /v1/machines. Every
+// verb funnels through the lifecycle state machine, so an operator can
+// never drive a machine into an illegal state through the API: bad
+// transitions come back as 409 with the state machine's own explanation,
+// and every accepted one is WAL-durable before the response is written.
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/lifecycle"
+)
+
+// MachineJSON is the wire form of one lifecycle record.
+type MachineJSON struct {
+	Machine      string `json:"machine"`
+	State        string `json:"state"`
+	SinceDay     int    `json:"since_day"`
+	RepairCycles int    `json:"repair_cycles"`
+	Transitions  int    `json:"transitions"`
+	LastReason   string `json:"last_reason,omitempty"`
+}
+
+// ActionRequest is the optional body for POST /v1/machines/{id}/{verb}.
+type ActionRequest struct {
+	Reason string `json:"reason,omitempty"`
+	Actor  string `json:"actor,omitempty"`
+	Day    int    `json:"day,omitempty"`
+}
+
+// SetLifecycle attaches the machine-lifecycle control plane, enabling
+// the /v1/machines admin API. Call before Handler.
+func (s *Server) SetLifecycle(m *lifecycle.Manager) { s.life = m }
+
+// Lifecycle returns the attached manager, or nil.
+func (s *Server) Lifecycle() *lifecycle.Manager { return s.life }
+
+// registerAdmin wires the admin routes (Go 1.22 method+wildcard patterns).
+func (s *Server) registerAdmin(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/machines", s.handleMachineList)
+	mux.HandleFunc("GET /v1/machines/{id}", s.handleMachineGet)
+	mux.HandleFunc("POST /v1/machines/{id}/{verb}", s.handleMachineVerb)
+}
+
+func machineJSON(r lifecycle.Record) MachineJSON {
+	return MachineJSON{
+		Machine:      r.Machine,
+		State:        r.State.String(),
+		SinceDay:     r.SinceDay,
+		RepairCycles: r.RepairCycles,
+		Transitions:  r.Transitions,
+		LastReason:   r.LastReason,
+	}
+}
+
+// handleMachineList is GET /v1/machines[?state=cordoned]: the full
+// ledger, sorted by machine id, optionally filtered by state.
+func (s *Server) handleMachineList(w http.ResponseWriter, r *http.Request) {
+	want := r.URL.Query().Get("state")
+	if want != "" {
+		if _, err := lifecycle.StateByName(want); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	out := []MachineJSON{}
+	for _, rec := range s.life.List() {
+		if want != "" && rec.State.String() != want {
+			continue
+		}
+		out = append(out, machineJSON(rec))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleMachineGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.life.State(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "machine %q has no lifecycle record", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, machineJSON(rec))
+}
+
+// handleMachineVerb is POST /v1/machines/{id}/{verb} with an optional
+// ActionRequest body. Verbs: cordon, drain, repair, release, remove.
+func (s *Server) handleMachineVerb(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	verb := r.PathValue("verb")
+	var req ActionRequest
+	if r.Body != nil {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReportBytes))
+		if err := dec.Decode(&req); err != nil && err.Error() != "EOF" {
+			writeError(w, http.StatusBadRequest, "bad action body: %v", err)
+			return
+		}
+	}
+	if req.Actor == "" {
+		req.Actor = "admin-api"
+	}
+	var err error
+	switch verb {
+	case "cordon":
+		_, err = s.life.Cordon(id, req.Day, req.Reason, req.Actor)
+	case "drain":
+		// The daemon has no workload scheduler to wait on, so a drain
+		// completes immediately: cordon+draining, then drained.
+		var st lifecycle.State
+		st, err = s.life.Drain(id, req.Day, req.Reason, req.Actor)
+		if err == nil && st == lifecycle.Draining {
+			_, err = s.life.MarkDrained(id, req.Day, req.Actor)
+		}
+	case "repair":
+		_, err = s.life.StartRepair(id, req.Day, req.Actor)
+	case "release":
+		_, err = s.life.Reintroduce(id, req.Day, req.Reason, req.Actor)
+	case "remove":
+		_, err = s.life.Remove(id, req.Day, req.Reason, req.Actor)
+	default:
+		writeError(w, http.StatusNotFound, "unknown verb %q", verb)
+		return
+	}
+	if err != nil {
+		// The state machine rejected the transition; the ledger is
+		// unchanged. Conflict, not client error — the request was well
+		// formed, the machine just isn't in a state that allows it.
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	rec, _ := s.life.State(id)
+	writeJSON(w, machineJSON(rec))
+}

@@ -6,15 +6,19 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/xrand"
@@ -84,15 +88,34 @@ func kindFromString(s string) (kind detect.SignalKind, known bool) {
 	}
 }
 
-// Server is the suspect-report collection service.
+// Server is the suspect-report collection service. Ingest scales across
+// concurrent producers: the tracker is sharded by machine hash, the
+// report total is atomic, and the only remaining serialization point is
+// the optional OnSignal callback.
 type Server struct {
-	mu      sync.Mutex
-	tracker *detect.Tracker
-	total   int
+	tracker *detect.ShardedTracker
+	total   atomic.Int64
 	reg     *obs.Registry
 	// OnSignal, if non-nil, observes every accepted signal (used by the
-	// fleet simulator to couple the service to its detection loop).
+	// fleet simulator to couple the service to its detection loop). Set it
+	// before the server accepts traffic; invocations are serialized.
 	OnSignal func(detect.Signal)
+	// cbMu serializes OnSignal across concurrent ingest paths.
+	cbMu sync.Mutex
+
+	// RetryAfterSec is the Retry-After hint, in seconds, attached to shed
+	// (429) responses. 0 means 1 second. Set before accepting traffic.
+	RetryAfterSec int
+
+	// dedup is the (source, seq) batch idempotency window.
+	dedup dedupWindow
+	// queue, when non-nil, defers batch ingest to a background drainer
+	// with explicit load shedding. See EnableQueue.
+	queue *ingestQueue
+
+	// life, when non-nil, is the machine-lifecycle control plane exposed
+	// under /v1/machines. See SetLifecycle.
+	life *lifecycle.Manager
 }
 
 // NewServer returns a server feeding a tracker shaped for machines with
@@ -101,7 +124,7 @@ type Server struct {
 // rejected requests by reason.
 func NewServer(coresPerMachine int) *Server {
 	return &Server{
-		tracker: detect.NewTracker(coresPerMachine),
+		tracker: detect.NewShardedTracker(coresPerMachine, 0),
 		reg:     obs.NewRegistry(),
 	}
 }
@@ -130,22 +153,30 @@ func (s *Server) rejected(reason string) {
 
 // Handler returns the HTTP handler exposing the service API:
 //
-//	POST /v1/report   — submit a Report (body capped at 64 KiB)
+//	POST /v1/report   — submit one Report (body capped at 64 KiB)
+//	POST /v1/reports  — submit a Batch (body capped at 1 MiB); may answer
+//	                    429 + Retry-After under overload
 //	GET  /v1/suspects — list nominated suspects
 //	GET  /v1/stats    — service statistics
 //	GET  /v1/healthz  — liveness probe, {"status":"ok"}
 //	GET  /v1/metrics  — Prometheus text exposition of the service metrics
+//	     /v1/machines — lifecycle admin API (only when SetLifecycle was
+//	                    called; see admin.go)
 //
 // Every error response carries the JSON envelope {"error":"..."} with the
 // matching HTTP status code (400 for malformed or incomplete reports, 405
-// for a wrong method, 413 for an oversized body).
+// for a wrong method, 413 for an oversized body, 429 when load is shed).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/reports", s.handleReports)
 	mux.HandleFunc("/v1/suspects", s.handleSuspects)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	if s.life != nil {
+		s.registerAdmin(mux)
+	}
 	return mux
 }
 
@@ -194,94 +225,96 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "trailing data after report object")
 		return
 	}
-	if rep.Machine == "" {
-		s.rejected("missing-machine")
-		writeError(w, http.StatusBadRequest, "machine required")
+	sig, reason, msg := s.signalFromReport(rep)
+	if reason != "" {
+		s.rejected(reason)
+		writeError(w, http.StatusBadRequest, "%s", msg)
 		return
-	}
-	if rep.Core < -1 {
-		s.rejected("bad-core")
-		writeError(w, http.StatusBadRequest,
-			"core must be >= -1 (-1 = unattributed), got %d", rep.Core)
-		return
-	}
-	kind, known := kindFromString(rep.Kind)
-	if !known {
-		s.reg.Counter("ceereport_signals_unknown_kind_total").Inc()
-	}
-	sig := detect.Signal{
-		Machine: rep.Machine,
-		Core:    rep.Core,
-		Kind:    kind,
-		Time:    simtime.Time(rep.TimeSec),
-		Detail:  rep.Detail,
 	}
 	s.Ingest(sig)
 	w.WriteHeader(http.StatusAccepted)
 }
 
-// Ingest adds a signal directly (the in-process path used by simulators;
-// the HTTP path funnels here too).
-func (s *Server) Ingest(sig detect.Signal) {
-	s.mu.Lock()
-	s.tracker.Add(sig)
-	s.total++
+// signalFromReport validates one wire report and converts it to a signal.
+// On rejection, reason is the metrics label and msg the client-facing
+// explanation — shared by the single-report and batch handlers so both
+// enforce the identical contract.
+func (s *Server) signalFromReport(rep Report) (sig detect.Signal, reason, msg string) {
+	if rep.Machine == "" {
+		return sig, "missing-machine", "machine required"
+	}
+	if rep.Core < -1 {
+		return sig, "bad-core",
+			fmt.Sprintf("core must be >= -1 (-1 = unattributed), got %d", rep.Core)
+	}
+	kind, known := kindFromString(rep.Kind)
+	if !known {
+		s.reg.Counter("ceereport_signals_unknown_kind_total").Inc()
+	}
+	return detect.Signal{
+		Machine: rep.Machine,
+		Core:    rep.Core,
+		Kind:    kind,
+		Time:    simtime.Time(rep.TimeSec),
+		Detail:  rep.Detail,
+	}, "", ""
+}
+
+// notify serializes OnSignal invocations for a buffer of accepted signals.
+func (s *Server) notify(sigs []detect.Signal) {
 	cb := s.OnSignal
-	s.mu.Unlock()
-	s.accepted(sig.Kind)
-	if cb != nil {
+	if cb == nil {
+		return
+	}
+	s.cbMu.Lock()
+	defer s.cbMu.Unlock()
+	for _, sig := range sigs {
 		cb(sig)
 	}
 }
 
-// IngestBatch adds a buffer of signals under one lock acquisition — the
-// merge path for producers (parallel fleet shards) that accumulate
-// signals privately and hand them over in deterministic order.
+// Ingest adds a signal directly (the in-process path used by simulators;
+// the HTTP path funnels here too).
+func (s *Server) Ingest(sig detect.Signal) {
+	s.tracker.Add(sig)
+	s.total.Add(1)
+	s.accepted(sig.Kind)
+	s.notify([]detect.Signal{sig})
+}
+
+// IngestBatch adds a buffer of signals, grouped by tracker shard — the
+// merge path for producers (parallel fleet shards, the ingest queue) that
+// accumulate signals privately and hand them over in deterministic order.
 func (s *Server) IngestBatch(sigs []detect.Signal) {
 	if len(sigs) == 0 {
 		return
 	}
-	s.mu.Lock()
 	s.tracker.AddBatch(sigs)
-	s.total += len(sigs)
-	cb := s.OnSignal
-	s.mu.Unlock()
+	s.total.Add(int64(len(sigs)))
 	for _, sig := range sigs {
 		s.accepted(sig.Kind)
 	}
-	if cb != nil {
-		for _, sig := range sigs {
-			cb(sig)
-		}
-	}
+	s.notify(sigs)
 }
 
 // Suspects returns the current nominations.
 func (s *Server) Suspects() []detect.Suspect {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.tracker.Suspects()
 }
 
 // Forget drops tracker state for a machine (after drain/repair).
 func (s *Server) Forget(machine string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.tracker.Forget(machine)
 }
 
 // ForgetCore drops tracker state for one core (after quarantine).
 func (s *Server) ForgetCore(machine string, core int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.tracker.ForgetCore(machine, core)
 }
 
 // TotalReports returns the number of accepted reports.
 func (s *Server) TotalReports() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.total
+	return int(s.total.Load())
 }
 
 func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
@@ -304,8 +337,6 @@ func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
 // ever submitted a report — including machines whose reports never
 // concentrated into a nomination.
 func (s *Server) ReportingMachines() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.tracker.ReportingMachines()
 }
 
@@ -317,12 +348,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// Machines counts every distinct reporting machine, not just those
 	// with a current nomination — a fleet of one-report machines is load
 	// the operator needs to see even though it nominates nothing.
-	s.mu.Lock()
-	total := s.total
-	machines := s.tracker.ReportingMachines()
-	s.mu.Unlock()
-	sus := s.Suspects()
-	writeJSON(w, StatsJSON{TotalReports: total, Machines: machines, Suspects: len(sus)})
+	writeJSON(w, StatsJSON{
+		TotalReports: s.TotalReports(),
+		Machines:     s.ReportingMachines(),
+		Suspects:     len(s.Suspects()),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -331,10 +361,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Refresh the scrape-time gauges before rendering.
-	s.mu.Lock()
-	total := s.total
-	machines := s.tracker.ReportingMachines()
-	s.mu.Unlock()
+	total := s.TotalReports()
+	machines := s.ReportingMachines()
 	suspects := len(s.Suspects())
 	s.reg.Gauge("ceereport_reports_total").Set(float64(total))
 	s.reg.Gauge("ceereport_reporting_machines").Set(float64(machines))
@@ -355,6 +383,7 @@ const (
 	defaultClientTimeout = 5 * time.Second
 	defaultMaxAttempts   = 3
 	defaultRetryBackoff  = 50 * time.Millisecond
+	defaultMaxRetryAfter = 5 * time.Second
 )
 
 // defaultHTTPClient bounds every call a zero-value Client makes. The old
@@ -364,9 +393,12 @@ const (
 var defaultHTTPClient = &http.Client{Timeout: defaultClientTimeout}
 
 // Client talks to a report server over HTTP. Transport-level failures
-// (connection refused, resets, timeouts) are retried with jittered
-// exponential backoff up to MaxAttempts; HTTP status errors are not
-// retried — the request was delivered and answered.
+// (connection refused, resets, timeouts) and explicit backpressure
+// responses (429, 503) are retried with jittered exponential backoff up
+// to MaxAttempts, honoring the server's Retry-After hint (capped by
+// MaxRetryAfter); other HTTP status errors are not retried — the request
+// was delivered and answered. Every method has a Context variant that
+// threads cancellation and deadlines through requests and retry sleeps.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
@@ -378,11 +410,15 @@ type Client struct {
 	// RetryBackoff is the base delay before the first retry, doubled per
 	// further retry with up to 50% random jitter (0 means 50ms).
 	RetryBackoff time.Duration
+	// MaxRetryAfter caps how much of a server Retry-After hint is
+	// honored, so a hostile or misconfigured server cannot park clients
+	// indefinitely (0 means 5s).
+	MaxRetryAfter time.Duration
 	// JitterSeed seeds the client's private retry-jitter stream; 0 (the
 	// default) seeds from the clock at first use, so independent clients
 	// de-synchronize. Tests set it for reproducible backoff schedules.
 	JitterSeed uint64
-	// sleep is a test seam; nil means time.Sleep.
+	// sleep is a test seam; nil means a context-aware timer wait.
 	sleep func(time.Duration)
 
 	// jitter is the client's own locked random source. The old code drew
@@ -416,9 +452,51 @@ func (c *Client) client() *http.Client {
 	return defaultHTTPClient
 }
 
+// wait sleeps d or returns early with the context's error.
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		c.sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryableStatus reports whether status is explicit server backpressure
+// worth retrying (the request may not have been acted on).
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryAfter parses a Retry-After header (delta-seconds form) capped at
+// the client's maximum; 0 when absent or unparseable.
+func (c *Client) retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	max := c.MaxRetryAfter
+	if max <= 0 {
+		max = defaultMaxRetryAfter
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
 // do runs send with the client's retry policy. send must build a fresh
-// request per call (a consumed body cannot be replayed).
-func (c *Client) do(send func() (*http.Response, error)) (*http.Response, error) {
+// request per call (a consumed body cannot be replayed). Backpressure
+// responses (429/503) count as failed attempts; the retry delay is the
+// larger of the jittered backoff and the server's Retry-After hint.
+func (c *Client) do(ctx context.Context, send func(context.Context) (*http.Response, error)) (*http.Response, error) {
 	attempts := c.MaxAttempts
 	if attempts <= 0 {
 		attempts = defaultMaxAttempts
@@ -427,37 +505,79 @@ func (c *Client) do(send func() (*http.Response, error)) (*http.Response, error)
 	if backoff <= 0 {
 		backoff = defaultRetryBackoff
 	}
-	sleep := c.sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
-	var lastErr error
+	var (
+		lastErr    error
+		serverHint time.Duration
+	)
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			d := backoff << (attempt - 1)
 			// Full jitter on the top half de-synchronizes a fleet of
 			// reporters hammering a recovering server.
 			d = d/2 + c.jitterDelay(d/2)
-			sleep(d)
+			if serverHint > d {
+				d = serverHint
+			}
+			if err := c.wait(ctx, d); err != nil {
+				return nil, fmt.Errorf("report: canceled during retry backoff: %w", err)
+			}
 		}
-		resp, err := send()
-		if err == nil {
-			return resp, nil
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("report: %w", err)
 		}
-		lastErr = err
+		resp, err := send(ctx)
+		if err != nil {
+			lastErr = err
+			serverHint = 0
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			serverHint = c.retryAfter(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("server returned %s", resp.Status)
+			continue
+		}
+		return resp, nil
 	}
 	return nil, fmt.Errorf("report: %d attempt(s) failed: %w", attempts, lastErr)
 }
 
+// get issues a retried GET of path.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	return c.do(ctx, func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return c.client().Do(req)
+	})
+}
+
+// post issues a retried JSON POST of body to path.
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	return c.do(ctx, func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return c.client().Do(req)
+	})
+}
+
 // Report submits one suspect-core report.
 func (c *Client) Report(rep Report) error {
+	return c.ReportContext(context.Background(), rep)
+}
+
+// ReportContext submits one suspect-core report, honoring ctx.
+func (c *Client) ReportContext(ctx context.Context, rep Report) error {
 	body, err := json.Marshal(rep)
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(func() (*http.Response, error) {
-		return c.client().Post(c.BaseURL+"/v1/report", "application/json", bytes.NewReader(body))
-	})
+	resp, err := c.post(ctx, "/v1/report", body)
 	if err != nil {
 		return err
 	}
@@ -468,11 +588,40 @@ func (c *Client) Report(rep Report) error {
 	return nil
 }
 
+// ReportBatch submits a batch of reports via POST /v1/reports.
+func (c *Client) ReportBatch(batch Batch) (BatchAck, error) {
+	return c.ReportBatchContext(context.Background(), batch)
+}
+
+// ReportBatchContext submits a batch of reports, honoring ctx. A shed
+// (429) response is retried per the client's policy; if every attempt is
+// shed the returned error wraps the last status.
+func (c *Client) ReportBatchContext(ctx context.Context, batch Batch) (BatchAck, error) {
+	var ack BatchAck
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return ack, err
+	}
+	resp, err := c.post(ctx, "/v1/reports", body)
+	if err != nil {
+		return ack, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return ack, fmt.Errorf("reports: server returned %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ack)
+	return ack, err
+}
+
 // Suspects fetches the current suspect list.
 func (c *Client) Suspects() ([]SuspectJSON, error) {
-	resp, err := c.do(func() (*http.Response, error) {
-		return c.client().Get(c.BaseURL + "/v1/suspects")
-	})
+	return c.SuspectsContext(context.Background())
+}
+
+// SuspectsContext fetches the current suspect list, honoring ctx.
+func (c *Client) SuspectsContext(ctx context.Context) ([]SuspectJSON, error) {
+	resp, err := c.get(ctx, "/v1/suspects")
 	if err != nil {
 		return nil, err
 	}
@@ -489,10 +638,13 @@ func (c *Client) Suspects() ([]SuspectJSON, error) {
 
 // Stats fetches service statistics.
 func (c *Client) Stats() (StatsJSON, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext fetches service statistics, honoring ctx.
+func (c *Client) StatsContext(ctx context.Context) (StatsJSON, error) {
 	var out StatsJSON
-	resp, err := c.do(func() (*http.Response, error) {
-		return c.client().Get(c.BaseURL + "/v1/stats")
-	})
+	resp, err := c.get(ctx, "/v1/stats")
 	if err != nil {
 		return out, err
 	}
@@ -506,9 +658,12 @@ func (c *Client) Stats() (StatsJSON, error) {
 
 // Metrics fetches the server's Prometheus text exposition.
 func (c *Client) Metrics() (string, error) {
-	resp, err := c.do(func() (*http.Response, error) {
-		return c.client().Get(c.BaseURL + "/v1/metrics")
-	})
+	return c.MetricsContext(context.Background())
+}
+
+// MetricsContext fetches the Prometheus exposition, honoring ctx.
+func (c *Client) MetricsContext(ctx context.Context) (string, error) {
+	resp, err := c.get(ctx, "/v1/metrics")
 	if err != nil {
 		return "", err
 	}
@@ -518,4 +673,68 @@ func (c *Client) Metrics() (string, error) {
 	}
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
+}
+
+// Machines fetches the lifecycle ledger from the admin API.
+func (c *Client) Machines(ctx context.Context, state string) ([]MachineJSON, error) {
+	path := "/v1/machines"
+	if state != "" {
+		path += "?state=" + state
+	}
+	resp, err := c.get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("machines: server returned %s", apiError(resp))
+	}
+	var out []MachineJSON
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Machine fetches one machine's lifecycle record.
+func (c *Client) Machine(ctx context.Context, id string) (MachineJSON, error) {
+	var out MachineJSON
+	resp, err := c.get(ctx, "/v1/machines/"+id)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("machine %s: server returned %s", id, apiError(resp))
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// MachineAction invokes one lifecycle verb (cordon, drain, repair,
+// release, remove) on a machine and returns the updated record.
+func (c *Client) MachineAction(ctx context.Context, id, verb string, req ActionRequest) (MachineJSON, error) {
+	var out MachineJSON
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.post(ctx, "/v1/machines/"+id+"/"+verb, body)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("%s %s: server returned %s", verb, id, apiError(resp))
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// apiError renders a non-2xx response for error messages, folding in the
+// server's JSON error envelope when present.
+func apiError(resp *http.Response) string {
+	var env ErrorJSON
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&env) == nil && env.Error != "" {
+		return fmt.Sprintf("%s (%s)", resp.Status, env.Error)
+	}
+	return resp.Status
 }

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 )
 
@@ -57,6 +58,15 @@ type CoreAssert struct {
 	Line    int
 }
 
+// MachineStateAssert pins one machine's final lifecycle-ledger state
+// ("m00007" must end the run "drained"). Requires the control plane
+// (fleet.lifecycle.enabled) — validated at parse time.
+type MachineStateAssert struct {
+	Machine string
+	State   string
+	Line    int
+}
+
 // Assertions is the decoded assert section.
 type Assertions struct {
 	// Quantities maps assertable-quantity names (see Quantities) to
@@ -67,6 +77,8 @@ type Assertions struct {
 	// NotQuarantinedCores must NOT appear in the final ledger.
 	NotQuarantinedCores []CoreAssert
 	Metrics             []MetricAssert
+	// MachineStates pins final lifecycle-ledger states per machine.
+	MachineStates []MachineStateAssert
 }
 
 // QuantityAssert is one named-quantity range.
@@ -78,7 +90,8 @@ type QuantityAssert struct {
 // Empty reports whether the scenario declares no assertions at all.
 func (a Assertions) Empty() bool {
 	return len(a.Quantities) == 0 && len(a.QuarantinedCores) == 0 &&
-		len(a.NotQuarantinedCores) == 0 && len(a.Metrics) == 0
+		len(a.NotQuarantinedCores) == 0 && len(a.Metrics) == 0 &&
+		len(a.MachineStates) == 0
 }
 
 // quantities maps every assertable name to its extractor. The names are
@@ -123,6 +136,12 @@ var quantities = map[string]func(*Result) float64{
 	"tr_restores":   func(r *Result) float64 { return float64(r.totals.TRRestores) },
 	"tr_signals":    func(r *Result) float64 { return float64(r.totals.TRSignals) },
 	"tr_failures":   func(r *Result) float64 { return float64(r.totals.TRFailures) },
+	// Machine-lifecycle control plane (zero unless fleet.lifecycle
+	// enables it).
+	"life_cordoned":     func(r *Result) float64 { return float64(r.totals.LifeCordoned) },
+	"life_drained":      func(r *Result) float64 { return float64(r.totals.LifeDrained) },
+	"life_removed":      func(r *Result) float64 { return float64(r.totals.LifeRemoved) },
+	"life_reintroduced": func(r *Result) float64 { return float64(r.totals.LifeReintroduced) },
 }
 
 // QuantityNames returns the assertable quantity vocabulary, sorted.
@@ -146,6 +165,8 @@ func (d *decoder) assertions(m *node) Assertions {
 			a.QuarantinedCores = d.coreList(child, key)
 		case "not_quarantined_cores":
 			a.NotQuarantinedCores = d.coreList(child, key)
+		case "machine_states":
+			a.MachineStates = d.machineStates(child)
 		case "metrics":
 			if child.kind != nSeq {
 				d.errf(child.line, "assert.metrics must be a sequence")
@@ -158,7 +179,7 @@ func (d *decoder) assertions(m *node) Assertions {
 			}
 		default:
 			if _, known := quantities[key]; !known {
-				d.errf(m.keyLine(key), "unknown assertion %q (known: %s, quarantined_cores, not_quarantined_cores, metrics)",
+				d.errf(m.keyLine(key), "unknown assertion %q (known: %s, quarantined_cores, not_quarantined_cores, machine_states, metrics)",
 					key, strings.Join(QuantityNames(), ", "))
 				continue
 			}
@@ -245,6 +266,35 @@ func parseCoreRef(s string) (CoreAssert, error) {
 	return CoreAssert{Machine: machine, Core: core}, nil
 }
 
+// machineStates decodes the assert.machine_states mapping: machine id →
+// lifecycle state name, both validated here so typos fail at parse time.
+func (d *decoder) machineStates(n *node) []MachineStateAssert {
+	if n == nil || n.kind != nMap {
+		d.errf(lineOf(n), "assert.machine_states must be a mapping of machine id to state")
+		return nil
+	}
+	var out []MachineStateAssert
+	for _, id := range n.keys {
+		v := n.children[id]
+		line := n.keyLine(id)
+		if _, err := parseMachineID(id); err != nil {
+			d.errf(line, "assert.machine_states: %v", err)
+			continue
+		}
+		if v.kind != nScalar {
+			d.errf(lineOf(v), "assert.machine_states.%s must be a state name", id)
+			continue
+		}
+		if _, err := lifecycle.StateByName(v.text); err != nil {
+			d.errf(v.line, "assert.machine_states.%s: state %q unknown (have %s)",
+				id, v.text, strings.Join(lifecycle.StateNames(), ", "))
+			continue
+		}
+		out = append(out, MachineStateAssert{Machine: id, State: v.text, Line: line})
+	}
+	return out
+}
+
 func (d *decoder) metricAssert(n *node) (MetricAssert, bool) {
 	m := d.asMap(n, "assert.metrics entry")
 	if m == nil {
@@ -311,6 +361,22 @@ func (s *Scenario) Check(res *Result) []string {
 		key := fmt.Sprintf("%s/%d", ca.Machine, ca.Core)
 		if inLedger[key] {
 			at(ca.Line, fmt.Sprintf("core %s unexpectedly in the final quarantine ledger", key))
+		}
+	}
+	if len(s.Assert.MachineStates) > 0 {
+		// Machines never touched by the ledger are implicitly healthy.
+		states := map[string]string{}
+		for _, rec := range res.Lifecycle {
+			states[rec.Machine] = rec.StateName
+		}
+		for _, ms := range s.Assert.MachineStates {
+			got := states[ms.Machine]
+			if got == "" {
+				got = lifecycle.Healthy.String()
+			}
+			if got != ms.State {
+				at(ms.Line, fmt.Sprintf("machine %s ended %s, want %s", ms.Machine, got, ms.State))
+			}
 		}
 	}
 	for _, ma := range s.Assert.Metrics {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/fleet"
+	"repro/internal/lifecycle"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/quarantine"
@@ -123,6 +124,15 @@ func (s *Scenario) Compile() (fleet.Config, error) {
 			PreAgeDays:       sku.PreAgeDays,
 		})
 	}
+	if fd.Lifecycle != nil {
+		cfg.Lifecycle.Enabled = fd.Lifecycle.Enabled
+		if fd.Lifecycle.MaxRepairs != nil {
+			cfg.Lifecycle.MaxRepairs = *fd.Lifecycle.MaxRepairs
+		}
+		if fd.Lifecycle.ProbationDays != nil {
+			cfg.Lifecycle.ProbationDays = *fd.Lifecycle.ProbationDays
+		}
+	}
 	if s.Workloads.KVDB != nil {
 		cfg.KVDB = kvConfig(s.Workloads.KVDB)
 	}
@@ -215,6 +225,9 @@ type Result struct {
 	Triage fleet.TriageStats
 	// Records is the final quarantine ledger, in isolation order.
 	Records []*quarantine.Record
+	// Lifecycle is the final machine-lifecycle ledger, sorted by machine
+	// (nil when the control plane is disabled).
+	Lifecycle []lifecycle.Record
 	// Snapshot is the metrics registry at end of run, sorted.
 	Snapshot []obs.SeriesSnapshot
 	// Fleet is the underlying simulator, for further inspection.
@@ -273,6 +286,9 @@ func (s *Scenario) Run(opts Options) (*Result, error) {
 	res.Detection = metrics.Detection(f, s.Days)
 	res.Triage = f.Triage
 	res.Records = f.Manager().Records()
+	if lm := f.Lifecycle(); lm != nil {
+		res.Lifecycle = lm.List()
+	}
 	res.Snapshot = reg.Snapshot()
 	res.Fleet = f
 	return res, nil
@@ -287,6 +303,10 @@ func applyEvent(f *fleet.Fleet, ev Event) error {
 		return f.DrainMachine(ev.Machine)
 	case EvUndrainMachine:
 		return f.UndrainMachine(ev.Machine)
+	case EvCordonMachine:
+		return f.CordonMachine(ev.Machine)
+	case EvReleaseMachine:
+		return f.ReleaseMachine(ev.Machine)
 	case EvSetOperatingPoint:
 		pt := f.OperatingPoint()
 		if ev.Point.FreqGHz != nil {
@@ -374,4 +394,8 @@ func addTotals(acc *fleet.DayStats, st fleet.DayStats) {
 	acc.TRRestores += st.TRRestores
 	acc.TRSignals += st.TRSignals
 	acc.TRFailures += st.TRFailures
+	acc.LifeCordoned += st.LifeCordoned
+	acc.LifeDrained += st.LifeDrained
+	acc.LifeRemoved += st.LifeRemoved
+	acc.LifeReintroduced += st.LifeReintroduced
 }

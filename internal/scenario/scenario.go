@@ -76,6 +76,15 @@ type FleetDef struct {
 	Policy     *PolicyDef
 	Confession *ConfessionDef
 	SKUs       []SKUDef
+	Lifecycle  *LifecycleDef
+}
+
+// LifecycleDef is the machine-lifecycle control-plane section; it maps
+// onto fleet.LifecycleConfig.
+type LifecycleDef struct {
+	Enabled       bool
+	MaxRepairs    *int
+	ProbationDays *int
 }
 
 // PolicyDef is the quarantine policy section.
@@ -134,6 +143,8 @@ const (
 	EvInjectDefect      = "inject_defect"
 	EvDrainMachine      = "drain_machine"
 	EvUndrainMachine    = "undrain_machine"
+	EvCordonMachine     = "cordon_machine"
+	EvReleaseMachine    = "release_machine"
 	EvSetOperatingPoint = "set_operating_point"
 	EvStartKVLoad       = "start_kv_load"
 	EvStopKVLoad        = "stop_kv_load"
@@ -142,7 +153,8 @@ const (
 )
 
 var eventKinds = []string{
-	EvInjectDefect, EvDrainMachine, EvUndrainMachine, EvSetOperatingPoint,
+	EvInjectDefect, EvDrainMachine, EvUndrainMachine, EvCordonMachine,
+	EvReleaseMachine, EvSetOperatingPoint,
 	EvStartKVLoad, EvStopKVLoad, EvStartTaskRun, EvStopTaskRun,
 }
 
@@ -153,7 +165,7 @@ type Event struct {
 	Kind string
 
 	Inject  *InjectDef  // inject_defect
-	Machine string      // drain_machine / undrain_machine
+	Machine string      // drain/undrain/cordon/release_machine
 	Point   *PointDef   // set_operating_point
 	KV      *KVDef      // start_kv_load
 	TaskRun *TaskRunDef // start_taskrun
@@ -429,6 +441,19 @@ func (d *decoder) scenario(root *node) *Scenario {
 			s.Assert = d.assertions(am)
 		}
 	}
+	for _, ms := range s.Assert.MachineStates {
+		if s.Fleet.Lifecycle == nil || !s.Fleet.Lifecycle.Enabled {
+			d.errf(ms.Line, "assert.machine_states requires fleet.lifecycle.enabled: true")
+			break
+		}
+	}
+	for _, ms := range s.Assert.MachineStates {
+		if idx, err := parseMachineID(ms.Machine); err == nil &&
+			s.Fleet.Machines > 0 && idx >= s.Fleet.Machines {
+			d.errf(ms.Line, "assert.machine_states: machine %q outside the fleet (machines: %d)",
+				ms.Machine, s.Fleet.Machines)
+		}
+	}
 	return s
 }
 
@@ -439,7 +464,7 @@ func (d *decoder) fleetDef(m *node) FleetDef {
 		"p_late_detect", "p_core_attribution", "software_bug_signals_per_machine_day",
 		"user_report_fraction", "screen_ops_per_core_day", "initial_corpus",
 		"corpus_grow_every_days", "max_signals_per_core_day", "repair_after_days",
-		"policy", "confession", "skus")
+		"policy", "confession", "skus", "lifecycle")
 	if v, ok := d.intVal(m, "machines", "fleet"); ok {
 		f.Machines = int(v)
 	}
@@ -469,6 +494,24 @@ func (d *decoder) fleetDef(m *node) FleetDef {
 	if pn := m.child("policy"); pn != nil {
 		if pm := d.asMap(pn, "fleet.policy"); pm != nil {
 			f.Policy = d.policyDef(pm)
+		}
+	}
+	if ln := m.child("lifecycle"); ln != nil {
+		if lm := d.asMap(ln, "fleet.lifecycle"); lm != nil {
+			d.known(lm, "fleet.lifecycle", "enabled", "max_repairs", "probation_days")
+			lc := &LifecycleDef{}
+			if v, ok := d.boolVal(lm, "enabled", "fleet.lifecycle"); ok {
+				lc.Enabled = v
+			}
+			lc.MaxRepairs = d.optInt(lm, "max_repairs", "fleet.lifecycle")
+			lc.ProbationDays = d.optInt(lm, "probation_days", "fleet.lifecycle")
+			if lc.MaxRepairs != nil && *lc.MaxRepairs < 0 {
+				d.errf(lm.keyLine("max_repairs"), "fleet.lifecycle.max_repairs must be >= 0")
+			}
+			if lc.ProbationDays != nil && *lc.ProbationDays < 0 {
+				d.errf(lm.keyLine("probation_days"), "fleet.lifecycle.probation_days must be >= 0")
+			}
+			f.Lifecycle = lc
 		}
 	}
 	if cn := m.child("confession"); cn != nil {
@@ -621,7 +664,7 @@ func (d *decoder) event(n *node, s *Scenario) (Event, bool) {
 		if bm := d.asMap(body, ev.Kind); bm != nil {
 			ev.Inject = d.injectDef(bm, s)
 		}
-	case EvDrainMachine, EvUndrainMachine:
+	case EvDrainMachine, EvUndrainMachine, EvCordonMachine, EvReleaseMachine:
 		if bm := d.asMap(body, ev.Kind); bm != nil {
 			d.known(bm, ev.Kind, "machine")
 			ev.Machine, _ = d.str(bm, "machine", ev.Kind)

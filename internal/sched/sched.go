@@ -78,9 +78,10 @@ type coreSlot struct {
 
 // Machine is one server.
 type Machine struct {
-	ID      string
-	drained bool
-	cores   []coreSlot
+	ID       string
+	drained  bool
+	cordoned bool
+	cores    []coreSlot
 }
 
 // Cores returns the machine's core count.
@@ -88,6 +89,15 @@ func (m *Machine) Cores() int { return len(m.cores) }
 
 // Drained reports whether the machine is removed from the pool.
 func (m *Machine) Drained() bool { return m.drained }
+
+// Cordoned reports whether the machine rejects new placements. Unlike a
+// drain, cordoning does not evict running tasks — it is the lifecycle
+// control plane's first, cheap isolation step: stop the bleeding of new
+// work onto suspect silicon, then drain deliberately.
+func (m *Machine) Cordoned() bool { return m.cordoned }
+
+// available reports whether the machine accepts new placements.
+func (m *Machine) available() bool { return !m.drained && !m.cordoned }
 
 // State returns the state of core i.
 func (m *Machine) State(i int) CoreState { return m.cores[i].state }
@@ -166,7 +176,7 @@ func (c *Cluster) Place(t *Task) (CoreRef, error) {
 	for _, wantRestricted := range []bool{false, true} {
 		for _, id := range c.order {
 			m := c.machines[id]
-			if m.drained {
+			if !m.available() {
 				continue
 			}
 			for i := range m.cores {
@@ -218,6 +228,9 @@ func (c *Cluster) PlaceAt(t *Task, ref CoreRef) (CoreRef, error) {
 	if m.drained {
 		return CoreRef{}, fmt.Errorf("sched: machine %q is drained", ref.Machine)
 	}
+	if m.cordoned {
+		return CoreRef{}, fmt.Errorf("sched: machine %q is cordoned", ref.Machine)
+	}
 	if ref.Core < 0 || ref.Core >= len(m.cores) {
 		return CoreRef{}, fmt.Errorf("sched: machine %q has no core %d", ref.Machine, ref.Core)
 	}
@@ -241,7 +254,7 @@ func (c *Cluster) FindIdle(t *Task, avoid func(CoreRef) bool) (CoreRef, bool) {
 	for _, wantRestricted := range []bool{false, true} {
 		for _, id := range c.order {
 			m := c.machines[id]
-			if m.drained {
+			if !m.available() {
 				continue
 			}
 			for i := range m.cores {
@@ -274,7 +287,7 @@ func (c *Cluster) IdleCores(t *Task) []CoreRef {
 	for _, wantRestricted := range []bool{false, true} {
 		for _, id := range c.order {
 			m := c.machines[id]
-			if m.drained {
+			if !m.available() {
 				continue
 			}
 			for i := range m.cores {
@@ -413,15 +426,37 @@ func (c *Cluster) Undrain(machineID string) error {
 	return nil
 }
 
+// Cordon stops new placements on a machine without evicting its tasks —
+// the lifecycle control plane's gentle first isolation step. Idempotent.
+func (c *Cluster) Cordon(machineID string) error {
+	m := c.machines[machineID]
+	if m == nil {
+		return fmt.Errorf("sched: unknown machine %q", machineID)
+	}
+	m.cordoned = true
+	return nil
+}
+
+// Uncordon re-admits a machine for new placements. Idempotent.
+func (c *Cluster) Uncordon(machineID string) error {
+	m := c.machines[machineID]
+	if m == nil {
+		return fmt.Errorf("sched: unknown machine %q", machineID)
+	}
+	m.cordoned = false
+	return nil
+}
+
 // Capacity summarizes cluster capacity, the currency of experiment E6.
 type Capacity struct {
 	TotalCores      int
 	Schedulable     int // healthy cores on undrained machines
 	Restricted      int // safe-task-only cores
-	Offline         int // quarantined cores
-	DrainedCores    int // cores lost to machine drains
-	OccupiedCores   int
-	DrainedMachines int
+	Offline          int // quarantined cores
+	DrainedCores     int // cores lost to machine drains
+	OccupiedCores    int
+	DrainedMachines  int
+	CordonedMachines int // machines rejecting new placements (tasks still running)
 }
 
 // Capacity computes the current capacity summary.
@@ -434,6 +469,9 @@ func (c *Cluster) Capacity() Capacity {
 			cap.DrainedMachines++
 			cap.DrainedCores += len(m.cores)
 			continue
+		}
+		if m.cordoned {
+			cap.CordonedMachines++
 		}
 		for i := range m.cores {
 			s := &m.cores[i]
