@@ -40,6 +40,7 @@ Commands:
   validate <file>...       parse and schema-check scenario files
   experiments [flags]      run the paper's experiment registry (legacy flags)
   bench [flags]            benchmark the day loop, append BENCH_fleetsim.json
+  kvbench [flags]          load-test tolerant kv serving, append BENCH_kvdb.json
   help                     show this message
 
 Run 'fleetsim <command> -h' for the command's flags. Invoking fleetsim
@@ -67,6 +68,8 @@ func main() {
 		os.Exit(cmdExperiments(args[1:]))
 	case "bench":
 		os.Exit(cmdBench(args[1:]))
+	case "kvbench":
+		os.Exit(cmdKVBench(args[1:]))
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 		os.Exit(0)

@@ -14,6 +14,11 @@
 // Record checksums (Spanner "uses checksums in multiple ways") guard the
 // value payloads; the index fingerprints are the unprotected metadata path
 // that produces the replica-dependent incident.
+//
+// Storage is partitioned StorageShards ways by FNV-1a of the row key. DB
+// itself is still a single-goroutine API; the partitioning exists so the
+// concurrent serving layer (TolerantDB) can guard each partition with its
+// own lock — shard s of every replica is owned by shard lock s.
 package kvdb
 
 import (
@@ -21,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/ecc"
 	"repro/internal/engine"
@@ -33,10 +39,37 @@ var (
 	ErrDivergent = errors.New("kvdb: replicas diverge")
 )
 
+// StorageShards is the number of key-hash partitions every replica's rows
+// and secondary index are split into. It matches detect.ShardedTracker's
+// shard count: enough to make lock contention negligible for tens of
+// serving goroutines without fragmenting memory.
+const StorageShards = 16
+
+// shardIndex maps a row key onto its storage partition. FNV-1a matches the
+// repo's other string-hash choices and spreads short "rowNNNN" keys well.
+func shardIndex(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % StorageShards)
+}
+
 // record is one replicated row.
 type record struct {
 	value []byte
 	crc   uint32
+}
+
+// replicaShard is one key-hash partition of a replica's storage.
+type replicaShard struct {
+	rows map[string]*record
+	// index maps a value fingerprint to the set of keys carrying it —
+	// the secondary index whose maintenance runs on this replica's core.
+	// Entries live in the shard of their KEY, so a shard lock owns both
+	// the rows and the index entries it can reach from them.
+	index map[uint64]map[string]bool
 }
 
 // Replica is one copy of the database bound to a serving core.
@@ -48,19 +81,24 @@ type Replica struct {
 	// CoreIndex is -1 when the replica is not bound to a fleet slot.
 	Machine   string
 	CoreIndex int
-	rows      map[string]*record
-	// index maps a value fingerprint to the set of keys carrying it —
-	// the secondary index whose maintenance runs on this replica's core.
-	index map[uint64]map[string]bool
+	// engMu serializes use of Engine: the engine is bound to a single
+	// simulated core and mutates per-op state (op counts, RNG draws), so
+	// concurrent readers of different shards still take turns on it.
+	// Lock order: storage-shard lock (held by the caller) before engMu.
+	engMu  sync.Mutex
+	shards [StorageShards]replicaShard
 }
 
 // NewReplica returns an empty replica served by e.
 func NewReplica(id string, e *engine.Engine) *Replica {
-	return &Replica{
-		ID: id, Engine: e, CoreIndex: -1,
-		rows:  map[string]*record{},
-		index: map[uint64]map[string]bool{},
+	r := &Replica{ID: id, Engine: e, CoreIndex: -1}
+	for i := range r.shards {
+		r.shards[i] = replicaShard{
+			rows:  map[string]*record{},
+			index: map[uint64]map[string]bool{},
+		}
 	}
+	return r
 }
 
 // Locate binds the replica to the (machine, core) slot its serving core
@@ -72,7 +110,8 @@ func (r *Replica) Locate(machine string, core int) *Replica {
 }
 
 // fingerprint computes the index fingerprint of a value on this replica's
-// core. This is the computation the §2 incident corrupts.
+// core. This is the computation the §2 incident corrupts. The caller must
+// hold engMu.
 func (r *Replica) fingerprint(value []byte) uint64 {
 	h := uint64(14695981039346656037)
 	for _, b := range value {
@@ -82,61 +121,88 @@ func (r *Replica) fingerprint(value []byte) uint64 {
 	return h
 }
 
+// row returns the stored record for key, or nil (test/introspection seam;
+// concurrent callers must hold the key's shard lock).
+func (r *Replica) row(key string) *record {
+	return r.shards[shardIndex(key)].rows[key]
+}
+
+// has reports whether the replica stores the row at all.
+func (r *Replica) has(key string) bool {
+	return r.row(key) != nil
+}
+
 // apply executes the update logic locally: store the row (copy through the
-// replica's core) and maintain the secondary index.
+// replica's core) and maintain the secondary index. Engine operations run
+// in the same order as the historical unsharded store — old fingerprint,
+// copy, new fingerprint — so defect activation sequences are unchanged.
 func (r *Replica) apply(key string, value []byte, clientCRC uint32) {
-	if old, ok := r.rows[key]; ok {
+	sh := &r.shards[shardIndex(key)]
+	r.engMu.Lock()
+	defer r.engMu.Unlock()
+	if old, ok := sh.rows[key]; ok {
 		oldFP := r.fingerprint(old.value)
-		if set := r.index[oldFP]; set != nil {
+		if set := sh.index[oldFP]; set != nil {
 			delete(set, key)
 			if len(set) == 0 {
-				delete(r.index, oldFP)
+				delete(sh.index, oldFP)
 			}
 		}
 	}
 	stored := make([]byte, len(value))
 	r.Engine.Copy(stored, value)
-	r.rows[key] = &record{value: stored, crc: clientCRC}
+	sh.rows[key] = &record{value: stored, crc: clientCRC}
 	fp := r.fingerprint(stored)
-	set := r.index[fp]
+	set := sh.index[fp]
 	if set == nil {
 		set = map[string]bool{}
-		r.index[fp] = set
+		sh.index[fp] = set
 	}
 	set[key] = true
 }
 
 // get reads a row and verifies its checksum on the replica's core.
 func (r *Replica) get(key string) ([]byte, error) {
-	rec, ok := r.rows[key]
-	if !ok {
+	rec := r.shards[shardIndex(key)].rows[key]
+	if rec == nil {
 		return nil, ErrNotFound
 	}
 	out := make([]byte, len(rec.value))
+	r.engMu.Lock()
 	r.Engine.Copy(out, rec.value)
-	if ecc.CRC32C(r.Engine, out) != rec.crc {
+	crc := ecc.CRC32C(r.Engine, out)
+	r.engMu.Unlock()
+	if crc != rec.crc {
 		return nil, fmt.Errorf("%w: key %q on replica %s", ErrCorrupt, key, r.ID)
 	}
 	return out, nil
 }
 
 // lookupByValue answers a secondary-index query: which keys carry value?
+// Concurrent callers must hold every shard lock (the index is scanned
+// across all partitions).
 func (r *Replica) lookupByValue(value []byte) []string {
+	r.engMu.Lock()
 	fp := r.fingerprint(value)
-	set := r.index[fp]
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
+	r.engMu.Unlock()
+	out := []string{}
+	for i := range r.shards {
+		for k := range r.shards[i].index[fp] {
+			out = append(out, k)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// DB is the replicated database.
+// DB is the replicated database. Like the engines it serves from, DB is a
+// single-goroutine API; TolerantDB layers locking on top.
 type DB struct {
 	replicas []*Replica
 	// next implements round-robin replica selection for reads, the
-	// "depending on which replica serves them" nondeterminism.
+	// "depending on which replica serves them" nondeterminism. pick keeps
+	// it wrapped into [0, len(replicas)); a pre-set out-of-range value
+	// (including one that overflowed int) is renormalized, never indexed.
 	next int
 	// Stats counts detection events.
 	Stats Stats
@@ -172,17 +238,31 @@ func (db *DB) Replicas() int { return len(db.replicas) }
 // natively.
 func (db *DB) Put(key string, value []byte) {
 	db.Stats.Writes++
+	db.putRows(key, value)
+}
+
+// putRows is Put without the stats accounting, shared with the tolerant
+// layer (which owns its own stats locking).
+func (db *DB) putRows(key string, value []byte) {
 	crc := ecc.CRC32CGolden(value)
 	for _, r := range db.replicas {
 		r.apply(key, value, crc)
 	}
 }
 
-// pick returns the next serving replica (round-robin).
+// pick returns the next serving replica (round-robin). The cursor is
+// renormalized before use so it can never index negatively: the historical
+// ever-growing cursor overflowed int after ~2^63 reads, went negative, and
+// panicked on replicas[negative]. Normalizing preserves the modular pick
+// sequence exactly while keeping the stored cursor in [0, n).
 func (db *DB) pick() *Replica {
-	r := db.replicas[db.next%len(db.replicas)]
-	db.next++
-	return r
+	n := len(db.replicas)
+	idx := db.next % n
+	if idx < 0 {
+		idx += n
+	}
+	db.next = idx + 1
+	return db.replicas[idx]
 }
 
 // Get serves the read from one replica, verifying the record checksum.
@@ -251,18 +331,18 @@ type rowScan struct {
 	good    int // checksum-valid reads
 }
 
-// scanRow reads the row from every replica and classifies the results,
-// counting corrupt reads into Stats.
+// scanRow reads the row from every replica and classifies the results. It
+// records no stats: callers derive counts from the scan (len(sc.corrupt)
+// corrupt reads) under whatever locking discipline they own.
 func (db *DB) scanRow(key string) rowScan {
 	var sc rowScan
 	for _, r := range db.replicas {
-		if _, ok := r.rows[key]; ok {
+		if r.has(key) {
 			sc.sawRow = true
 		}
 		v, err := r.get(key)
 		if err != nil {
 			if errors.Is(err, ErrCorrupt) {
-				db.Stats.CorruptReads++
 				sc.corrupt = append(sc.corrupt, r)
 			}
 			continue
@@ -295,20 +375,26 @@ func (db *DB) scanRow(key string) rowScan {
 // total corruption is a CEE signal, not a missing key.
 func (db *DB) ReadRepair(key string) ([]byte, error) {
 	db.Stats.Reads++
-	winner, _, err := db.readRepair(key)
+	winner, sc, repaired, err := db.readRepair(key)
+	db.Stats.CorruptReads += len(sc.corrupt)
+	db.Stats.Repairs += repaired
+	if errors.Is(err, ErrDivergent) {
+		db.Stats.DivergenceCaught++
+	}
 	return winner, err
 }
 
 // readRepair implements ReadRepair and additionally returns the row scan
-// so callers (the tolerant serving layer) can attribute blame per replica.
-// It does not count Stats.Reads; the public entry points do.
-func (db *DB) readRepair(key string) ([]byte, rowScan, error) {
+// so callers (the tolerant serving layer) can attribute blame per replica,
+// plus the number of replica repairs written. It records no stats at all;
+// the public entry points do, under their own locking.
+func (db *DB) readRepair(key string) ([]byte, rowScan, int, error) {
 	sc := db.scanRow(key)
 	if !sc.sawRow {
-		return nil, sc, ErrNotFound
+		return nil, sc, 0, ErrNotFound
 	}
 	if sc.good == 0 {
-		return nil, sc, fmt.Errorf("%w: key %q fails checksum on all %d replicas",
+		return nil, sc, 0, fmt.Errorf("%w: key %q fails checksum on all %d replicas",
 			ErrCorrupt, key, len(db.replicas))
 	}
 	need := sc.good/2 + 1
@@ -320,22 +406,22 @@ func (db *DB) readRepair(key string) ([]byte, rowScan, error) {
 		}
 	}
 	if winner == nil {
-		db.Stats.DivergenceCaught++
-		return nil, sc, fmt.Errorf("%w: no majority for key %q", ErrDivergent, key)
+		return nil, sc, 0, fmt.Errorf("%w: no majority for key %q", ErrDivergent, key)
 	}
 	// Heal every replica that failed its checksum or lost the vote. The
 	// repair write recomputes the row from the winner's bytes with a
 	// fresh client-side checksum.
 	crc := ecc.CRC32CGolden(winner)
+	repaired := 0
 	for _, r := range db.replicas {
 		v, err := r.get(key)
 		if err == nil && bytes.Equal(v, winner) {
 			continue
 		}
 		r.apply(key, winner, crc)
-		db.Stats.Repairs++
+		repaired++
 	}
-	return winner, sc, nil
+	return winner, sc, repaired, nil
 }
 
 // QueryByValue answers a secondary-index query from one replica — the

@@ -195,8 +195,8 @@ func TestGetComparedDetectsDivergence(t *testing.T) {
 	r1.apply("k", []byte("correct"), 0x5ef4ee93)
 	r2.apply("k", []byte("corrupt"), 0x697f9a17)
 	// Fix CRCs to be self-consistent per replica (golden values).
-	r1.rows["k"].crc = crcOf(t, []byte("correct"))
-	r2.rows["k"].crc = crcOf(t, []byte("corrupt"))
+	r1.row("k").crc = crcOf(t, []byte("correct"))
+	r2.row("k").crc = crcOf(t, []byte("corrupt"))
 	caught := false
 	for i := 0; i < 4 && !caught; i++ {
 		_, err := db.GetCompared("k")
@@ -339,7 +339,7 @@ func TestReadRepairHealsCorruptChecksumReplica(t *testing.T) {
 	db, _ := New(r1, r2, r3)
 	db.Put("k", []byte("payload"))
 	// Corrupt one replica's stored bytes so its checksum fails.
-	r3.rows["k"].value[0] ^= 0xFF
+	r3.row("k").value[0] ^= 0xFF
 	if _, err := r3.get("k"); !errors.Is(err, ErrCorrupt) {
 		t.Fatal("sabotage did not corrupt")
 	}

@@ -17,9 +17,27 @@
 //     quarantined or highly scored by the tracker are deprioritized,
 //     closing the report → nominate → quarantine → reroute cycle.
 //
-// Unlike DB, a TolerantDB is safe for concurrent use: all operations are
-// serialized on an internal mutex (the underlying engines are bound to
-// single cores and are not concurrency-safe).
+// Unlike DB, a TolerantDB is safe for concurrent use. Concurrency is
+// sharded, not serialized: each of the StorageShards key partitions is
+// guarded by its own RWMutex (mirroring detect.ShardedTracker), reads of
+// different rows proceed in parallel, and retry backoff sleeps with no
+// lock held, so one corrupt row backing off never stalls the rest of the
+// store. The per-replica engine mutex underneath (the simulated core is
+// inherently serial) is the only cross-shard serialization point.
+//
+// Lock ordering, outermost first:
+//
+//  1. shard mutexes, ascending by shard index (an operation holds either
+//     one shard — Get/Put — or all of them — QueryByValue);
+//  2. the replica engine mutex (taken inside Replica methods, never held
+//     across shard-lock acquisition);
+//  3. statsMu / the signal-queue mutex (leaves; never held across 1–2).
+//
+// Signal delivery is synchronous by default (deterministic, what the
+// fleet's serial kvdb phase needs). With SignalQueue > 0, emits append to
+// a bounded in-memory queue drained by a background flusher in batches —
+// ceereportd's ingest-queue shape — so a slow or remote sink never blocks
+// a read; overflow sheds the newest signal (counted, never blocking).
 package kvdb
 
 import (
@@ -27,6 +45,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detect"
@@ -40,11 +59,24 @@ import (
 // serving path must not fail because the reporting path did).
 type SignalSink func(detect.Signal) error
 
+// BatchSignalSink delivers a batch of signals in one call. When set, the
+// async flusher (SignalQueue > 0) prefers it over per-signal Sink calls —
+// one ingest per drained batch instead of one per signal.
+type BatchSignalSink func([]detect.Signal) error
+
 // ServerSink delivers signals in-process to a report server — the fleet
 // simulator's path.
 func ServerSink(s *report.Server) SignalSink {
 	return func(sig detect.Signal) error {
 		s.Ingest(sig)
+		return nil
+	}
+}
+
+// ServerBatchSink batch-delivers signals in-process to a report server.
+func ServerBatchSink(s *report.Server) BatchSignalSink {
+	return func(sigs []detect.Signal) error {
+		s.IngestBatch(sigs)
 		return nil
 	}
 }
@@ -63,18 +95,89 @@ func ClientSink(c *report.Client) SignalSink {
 	}
 }
 
+// ClientBatchSink delivers signal batches to a remote ceereportd in one
+// POST /v1/reports call each.
+func ClientBatchSink(c *report.Client) BatchSignalSink {
+	return func(sigs []detect.Signal) error {
+		reports := make([]report.Report, len(sigs))
+		for i, sig := range sigs {
+			reports[i] = report.Report{
+				Machine: sig.Machine,
+				Core:    sig.Core,
+				Kind:    sig.Kind.String(),
+				Detail:  sig.Detail,
+				TimeSec: float64(sig.Time),
+			}
+		}
+		_, err := c.ReportBatch(report.Batch{Reports: reports})
+		return err
+	}
+}
+
 // HealthFunc reports whether the (machine, core) slot serving a replica
 // should be deprioritized — typically because the core is quarantined or
 // its suspect score crossed a threshold. Avoided replicas are still used
 // when every alternative has been tried (capacity over health).
 type HealthFunc func(machine string, core int) bool
 
+// HealthCacheTTL is the memoization window TrackerHealth uses for the
+// tracker's suspect nominations. Suspect scores move on signal-ingest
+// timescales (per-day in the simulator, seconds in a deployment), so a
+// few milliseconds of staleness is invisible — while re-walking the full
+// suspects() slice once per replica per read is an O(replicas × suspects)
+// tax on the hottest path in the store.
+const HealthCacheTTL = 5 * time.Millisecond
+
 // TrackerHealth builds a HealthFunc from the two live views a deployment
 // has: the quarantine ledger and the tracker's suspect nominations. A
 // replica is avoided when its core is isolated, or when a current suspect
-// for that exact core scores at least minScore.
+// for that exact core scores at least minScore. Nomination lookups are
+// memoized for HealthCacheTTL (see TrackerHealthTTL).
 func TrackerHealth(isolated func(machine string, core int) bool,
 	suspects func() []detect.Suspect, minScore float64) HealthFunc {
+	return TrackerHealthTTL(isolated, suspects, minScore, HealthCacheTTL, time.Now)
+}
+
+// TrackerHealthTTL is TrackerHealth with an explicit memoization window
+// and clock (the clock seam exists for tests; nil means time.Now). The
+// isolated view is always consulted live — quarantine decisions must
+// reroute immediately. The suspects() slice is folded into a set at most
+// once per ttl; ttl <= 0 disables caching and re-evaluates suspects() on
+// every query, the historical behavior.
+func TrackerHealthTTL(isolated func(machine string, core int) bool,
+	suspects func() []detect.Suspect, minScore float64,
+	ttl time.Duration, now func() time.Time) HealthFunc {
+	if ttl <= 0 {
+		return func(machine string, core int) bool {
+			if machine == "" || core < 0 {
+				return false
+			}
+			if isolated != nil && isolated(machine, core) {
+				return true
+			}
+			if suspects == nil {
+				return false
+			}
+			for _, s := range suspects() {
+				if s.Machine == machine && s.Core == core && s.Score() >= minScore {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	type coreKey struct {
+		machine string
+		core    int
+	}
+	var (
+		mu      sync.Mutex
+		cached  map[coreKey]bool
+		expires time.Time
+	)
 	return func(machine string, core int) bool {
 		if machine == "" || core < 0 {
 			return false
@@ -85,12 +188,19 @@ func TrackerHealth(isolated func(machine string, core int) bool,
 		if suspects == nil {
 			return false
 		}
-		for _, s := range suspects() {
-			if s.Machine == machine && s.Core == core && s.Score() >= minScore {
-				return true
+		mu.Lock()
+		if cached == nil || !now().Before(expires) {
+			cached = map[coreKey]bool{}
+			for _, s := range suspects() {
+				if s.Score() >= minScore {
+					cached[coreKey{s.Machine, s.Core}] = true
+				}
 			}
+			expires = now().Add(ttl)
 		}
-		return false
+		avoid := cached[coreKey{machine, core}]
+		mu.Unlock()
+		return avoid
 	}
 }
 
@@ -103,6 +213,8 @@ type TolerantConfig struct {
 	// RetryBackoff is the delay before the first retry, doubled per
 	// further retry and capped at MaxBackoff. Zero disables sleeping —
 	// the right setting for simulation, where retries are instantaneous.
+	// Backoff sleeps hold no lock: a backing-off read never stalls other
+	// readers or writers.
 	RetryBackoff time.Duration
 	// MaxBackoff caps the exponential backoff; zero means 8×RetryBackoff.
 	MaxBackoff time.Duration
@@ -112,14 +224,33 @@ type TolerantConfig struct {
 	DualRead bool
 	// Sink receives every detection signal; nil drops them (counted).
 	Sink SignalSink
+	// BatchSink, if set, is preferred by the async flusher (SignalQueue
+	// > 0) so a drained batch costs one delivery. Ignored for synchronous
+	// emits unless Sink is nil, in which case single-signal batches go
+	// through it.
+	BatchSink BatchSignalSink
 	// Health deprioritizes replicas on unhealthy cores; nil treats every
-	// replica as healthy.
+	// replica as healthy. It is consulted at most once per replica per
+	// read (the per-read health snapshot).
 	Health HealthFunc
 	// Metrics receives serving counters and histograms; nil records
 	// nothing. Replaceable later via SetMetrics.
 	Metrics *obs.Registry
 	// Now timestamps outgoing signals; nil means the zero time.
 	Now func() simtime.Time
+	// SignalQueue enables asynchronous signal delivery: emits append to a
+	// bounded queue of this capacity drained by a background flusher, so
+	// the sink never blocks a read. 0 (the default) delivers signals
+	// synchronously in emission order — the deterministic mode the fleet
+	// simulator requires. Overflow sheds the newest signal (counted in
+	// SignalsShed). Callers using a queue should Close (or Flush) the
+	// store when done.
+	SignalQueue int
+	// SingleLock serializes every operation — including retry backoff
+	// sleeps — on one exclusive lock, reproducing the historical
+	// single-mutex TolerantDB. It exists as the benchmarking baseline for
+	// the sharded design (fleetsim kvbench) and has no other use.
+	SingleLock bool
 	// sleep is a test seam for backoff; nil means time.Sleep.
 	sleep func(time.Duration)
 }
@@ -143,19 +274,57 @@ type TolerantStats struct {
 	Errors int
 	// SignalsSent and SignalsDropped count suspect-report delivery.
 	SignalsSent, SignalsDropped int
+	// SignalsShed counts signals discarded because the async queue was
+	// full (always 0 in synchronous mode).
+	SignalsShed int
 }
 
 // readAttemptBuckets grade the per-read replica-attempt histogram.
 var readAttemptBuckets = []float64{1, 2, 3, 4, 5, 8}
 
-// TolerantDB wraps a DB with the CEE-tolerant serving policy. Safe for
-// concurrent use.
-type TolerantDB struct {
-	mu      sync.Mutex
-	db      *DB
-	cfg     TolerantConfig
-	stats   TolerantStats
+// ReadInfo describes how one tolerant read was served — the load
+// generator's window into per-read mitigation cost.
+type ReadInfo struct {
+	// Attempts is the number of single-replica read attempts consumed
+	// before any repair escalation.
+	Attempts int
+	// Retries counts the different-replica retries within this read.
+	Retries int
+	// Result is the read's disposition: "ok", "retried", "repaired",
+	// "degraded", "not-found", or "error".
+	Result string
+	// BackedOff is the total backoff delay this read requested.
+	BackedOff time.Duration
+}
+
+// tshard is one lock shard: the RWMutex guarding partition i of every
+// replica's storage, plus the suspect-row marks for keys in the partition.
+type tshard struct {
+	mu      sync.RWMutex
 	suspect map[string]bool // rows served degraded, pending operator review
+	// pad to a cache line so neighbouring shard locks don't false-share.
+	_ [24]byte
+}
+
+// TolerantDB wraps a DB with the CEE-tolerant serving policy. Safe for
+// concurrent use; see the package comment for the locking design.
+type TolerantDB struct {
+	db  *DB
+	cfg TolerantConfig
+	// shards[i] guards partition i of every replica (shardIndex(key)).
+	// In SingleLock mode only shards[0] is used, exclusively.
+	shards [StorageShards]tshard
+	// cursor is the round-robin replica cursor, kept in [0, replicas).
+	// Out-of-range values (tests pre-seed overflow) are renormalized on
+	// read, never indexed.
+	cursor atomic.Int64
+	// statsMu guards stats and the mirrored db.Stats fields. Leaf lock.
+	statsMu sync.Mutex
+	stats   TolerantStats
+	// inst caches instrument handles so the hot path skips the registry
+	// mutex; swapped wholesale by SetMetrics.
+	inst  atomic.Pointer[kvInstruments]
+	queue *signalQueue
 }
 
 // NewTolerant wraps db with the tolerant serving policy.
@@ -166,7 +335,23 @@ func NewTolerant(db *DB, cfg TolerantConfig) *TolerantDB {
 	case cfg.MaxRetries < 0:
 		cfg.MaxRetries = 0
 	}
-	return &TolerantDB{db: db, cfg: cfg, suspect: map[string]bool{}}
+	t := &TolerantDB{db: db, cfg: cfg}
+	for i := range t.shards {
+		t.shards[i].suspect = map[string]bool{}
+	}
+	// Adopt the wrapped store's cursor so a DB warmed by direct reads
+	// keeps its rotation, normalized into range.
+	n := len(db.replicas)
+	c := db.next % n
+	if c < 0 {
+		c += n
+	}
+	t.cursor.Store(int64(c))
+	t.inst.Store(newKVInstruments(cfg.Metrics))
+	if cfg.SignalQueue > 0 {
+		t.queue = newSignalQueue(t, cfg.SignalQueue)
+	}
+	return t
 }
 
 // DB returns the wrapped store (single-goroutine access only).
@@ -174,25 +359,42 @@ func (t *TolerantDB) DB() *DB { return t.db }
 
 // SetMetrics replaces the metrics registry (nil disables recording).
 func (t *TolerantDB) SetMetrics(reg *obs.Registry) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.cfg.Metrics = reg
+	t.inst.Store(newKVInstruments(reg))
+}
+
+// Flush blocks until every signal emitted so far has been delivered (or
+// dropped). No-op in synchronous mode.
+func (t *TolerantDB) Flush() {
+	if t.queue != nil {
+		t.queue.flush()
+	}
+}
+
+// Close drains and stops the async signal flusher. Signals emitted after
+// Close are shed. No-op in synchronous mode.
+func (t *TolerantDB) Close() {
+	if t.queue != nil {
+		t.queue.close()
+	}
 }
 
 // Stats returns a copy of the serving counters.
 func (t *TolerantDB) Stats() TolerantStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
 	return t.stats
 }
 
 // SuspectRows returns the rows marked suspect by degraded serves, sorted.
 func (t *TolerantDB) SuspectRows() []string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]string, 0, len(t.suspect))
-	for k := range t.suspect {
-		out = append(out, k)
+	out := []string{}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for k := range sh.suspect {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -200,20 +402,37 @@ func (t *TolerantDB) SuspectRows() []string {
 
 // RowSuspect reports whether a degraded serve marked the row suspect.
 func (t *TolerantDB) RowSuspect(key string) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.suspect[key]
+	sh := t.shardFor(key)
+	sh.mu.RLock()
+	v := sh.suspect[key]
+	sh.mu.RUnlock()
+	return v
 }
 
-// Put writes the row through every replica (see DB.Put).
+// shardFor returns the lock shard guarding key's partition (always
+// shards[0] in SingleLock mode, where suspect marks also live).
+func (t *TolerantDB) shardFor(key string) *tshard {
+	if t.cfg.SingleLock {
+		return &t.shards[0]
+	}
+	return &t.shards[shardIndex(key)]
+}
+
+// Put writes the row through every replica (see DB.Put). Only key's shard
+// is locked: partition shardIndex(key) of every replica is owned by that
+// one lock.
 func (t *TolerantDB) Put(key string, value []byte) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.stats.Writes++
-	t.counter("kvdb_writes_total").Inc()
-	t.db.Put(key, value)
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	t.db.putRows(key, value)
 	// A successful full write supersedes any earlier degraded serve.
-	delete(t.suspect, key)
+	delete(sh.suspect, key)
+	sh.mu.Unlock()
+	t.statsMu.Lock()
+	t.stats.Writes++
+	t.db.Stats.Writes++
+	t.statsMu.Unlock()
+	t.ins().writes().Inc()
 }
 
 // Get serves a read with the full mitigation ladder: health-aware replica
@@ -222,40 +441,69 @@ func (t *TolerantDB) Put(key string, value []byte) {
 // divergence are reported through the sink; the client sees an error only
 // for missing keys or total corruption.
 func (t *TolerantDB) Get(key string) ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.stats.Reads++
-	t.db.Stats.Reads++
-	v, attempts, result, err := t.get(key)
-	t.counter("kvdb_reads_total", obs.L("result", result)).Inc()
-	t.histogram("kvdb_read_attempts").Observe(float64(attempts))
+	v, _, err := t.GetTraced(key)
 	return v, err
 }
 
-// get runs the mitigation ladder; the caller holds t.mu. It returns the
-// value, the number of replica read attempts consumed before escalation,
-// and the disposition label for metrics.
-func (t *TolerantDB) get(key string) (v []byte, attempts int, result string, err error) {
-	tried := map[*Replica]bool{}
-	if t.cfg.DualRead && len(t.db.replicas) >= 2 {
-		a := t.pickReplica(tried)
-		tried[a] = true
-		b := t.pickReplica(tried)
-		tried[b] = true
-		attempts = 2
+// GetTraced is Get plus a per-read trace of the mitigation work done —
+// attempts, retries, disposition, total backoff — so load generators can
+// segment latency by outcome.
+func (t *TolerantDB) GetTraced(key string) ([]byte, ReadInfo, error) {
+	if t.cfg.SingleLock {
+		t.shards[0].mu.Lock()
+		defer t.shards[0].mu.Unlock()
+	}
+	t.statsMu.Lock()
+	t.stats.Reads++
+	t.db.Stats.Reads++
+	t.statsMu.Unlock()
+	var info ReadInfo
+	v, err := t.get(key, &info)
+	ins := t.ins()
+	ins.reads(info.Result).Inc()
+	ins.attempts().Observe(float64(info.Attempts))
+	return v, info, err
+}
+
+// get runs the mitigation ladder. Shard read locks are held only across
+// individual replica reads — never across backoff sleeps or signal
+// delivery. In SingleLock mode the caller already holds the global lock
+// and no shard locking happens here.
+func (t *TolerantDB) get(key string, info *ReadInfo) ([]byte, error) {
+	n := len(t.db.replicas)
+	tried := make([]bool, n)
+	hm := healthMemo{t: t}
+	sh := t.shardFor(key)
+	locked := t.cfg.SingleLock
+	if t.cfg.DualRead && n >= 2 {
+		ia := t.pickReplica(tried, &hm)
+		tried[ia] = true
+		ib := t.pickReplica(tried, &hm)
+		tried[ib] = true
+		info.Attempts = 2
+		a, b := t.db.replicas[ia], t.db.replicas[ib]
+		if !locked {
+			sh.mu.RLock()
+		}
 		va, errA := a.get(key)
 		vb, errB := b.get(key)
+		if !locked {
+			sh.mu.RUnlock()
+		}
 		switch {
 		case errA == nil && errB == nil && bytes.Equal(va, vb):
-			return va, attempts, "ok", nil
+			info.Result = "ok"
+			return va, nil
 		case errors.Is(errA, ErrNotFound) && errors.Is(errB, ErrNotFound):
-			return nil, attempts, "not-found", ErrNotFound
+			info.Result = "not-found"
+			return nil, ErrNotFound
 		case errA == nil && errB == nil:
 			// Both checksums pass but the bytes diverge: the §6 dual-
 			// computation detection. ReadRepair majority-votes the blame.
+			t.statsMu.Lock()
 			t.db.Stats.DivergenceCaught++
-			v, result, err = t.repairServe(key)
-			return v, attempts, result, err
+			t.statsMu.Unlock()
+			return t.repairServe(key, sh, info)
 		default:
 			// At least one read failed. Report checksum failures against
 			// their serving cores (in replica order, so signal emission is
@@ -266,58 +514,107 @@ func (t *TolerantDB) get(key string) (v []byte, attempts int, result string, err
 				e error
 			}{{a, errA}, {b, errB}} {
 				if errors.Is(p.e, ErrCorrupt) {
+					t.statsMu.Lock()
 					t.db.Stats.CorruptReads++
+					t.statsMu.Unlock()
 					t.emit(p.r, "read checksum mismatch: "+key)
 				}
 			}
-			v, result, err = t.repairServe(key)
-			return v, attempts, result, err
+			return t.repairServe(key, sh, info)
 		}
 	}
 	retrying := false
 	for {
-		r := t.pickReplica(tried)
-		if r == nil {
+		ri := t.pickReplica(tried, &hm)
+		if ri < 0 {
 			break // every replica tried
 		}
 		if retrying {
 			// Count the retry only once a fresh replica actually exists.
+			t.statsMu.Lock()
 			t.stats.Retries++
-			t.counter("kvdb_read_retries_total").Inc()
-			t.backoff(attempts - 1)
+			t.statsMu.Unlock()
+			t.ins().retries().Inc()
+			info.Retries++
+			t.backoff(info.Attempts-1, info)
 		}
-		tried[r] = true
-		attempts++
+		tried[ri] = true
+		info.Attempts++
+		r := t.db.replicas[ri]
+		if !locked {
+			sh.mu.RLock()
+		}
 		v, rerr := r.get(key)
+		if !locked {
+			sh.mu.RUnlock()
+		}
 		if rerr == nil {
-			if attempts > 1 {
+			if info.Attempts > 1 {
+				t.statsMu.Lock()
 				t.stats.RecoveredByRetry++
-				t.counter("kvdb_reads_recovered_by_retry_total").Inc()
-				return v, attempts, "retried", nil
+				t.statsMu.Unlock()
+				t.ins().recovered().Inc()
+				info.Result = "retried"
+				return v, nil
 			}
-			return v, attempts, "ok", nil
+			info.Result = "ok"
+			return v, nil
 		}
 		if errors.Is(rerr, ErrNotFound) {
 			// Rows are replicated to every replica; missing here means
 			// missing everywhere.
-			return nil, attempts, "not-found", rerr
+			info.Result = "not-found"
+			return nil, rerr
 		}
+		t.statsMu.Lock()
 		t.db.Stats.CorruptReads++
+		t.statsMu.Unlock()
 		t.emit(r, "read checksum mismatch: "+key)
-		if attempts > t.cfg.MaxRetries {
+		if info.Attempts > t.cfg.MaxRetries {
 			break
 		}
 		retrying = true
 	}
-	v, result, err = t.repairServe(key)
-	return v, attempts, result, err
+	return t.repairServe(key, sh, info)
 }
 
-// repairServe escalates a failed read to ReadRepair and, when even repair
-// cannot find a majority, degrades to serving the plurality value with the
-// row marked suspect. Blame from the repair scan is reported per replica.
-func (t *TolerantDB) repairServe(key string) ([]byte, string, error) {
-	winner, sc, err := t.db.readRepair(key)
+// repairServe escalates a failed read to ReadRepair under the shard's
+// write lock and, when even repair cannot find a majority, degrades to
+// serving the plurality value with the row marked suspect. Blame from the
+// repair scan is reported per replica after the lock is released, in the
+// same deterministic order as the scan.
+func (t *TolerantDB) repairServe(key string, sh *tshard, info *ReadInfo) ([]byte, error) {
+	locked := t.cfg.SingleLock
+	if !locked {
+		sh.mu.Lock()
+	}
+	winner, sc, repaired, err := t.db.readRepair(key)
+	best := 0
+	if errors.Is(err, ErrDivergent) && len(sc.votes) > 0 {
+		// No majority among the valid reads: pick the plurality value
+		// (first-seen order breaks ties) and mark the row suspect while
+		// still holding the exclusive lock.
+		for i := range sc.votes {
+			if len(sc.votes[i].replicas) > len(sc.votes[best].replicas) {
+				best = i
+			}
+		}
+		sh.suspect[key] = true
+	}
+	if !locked {
+		sh.mu.Unlock()
+	}
+
+	// Account the scan and the repair writes (scanRow/readRepair are
+	// stats-free so they can run under any caller's locking discipline).
+	t.statsMu.Lock()
+	t.db.Stats.CorruptReads += len(sc.corrupt)
+	t.db.Stats.Repairs += repaired
+	if errors.Is(err, ErrDivergent) {
+		t.db.Stats.DivergenceCaught++
+	}
+	t.statsMu.Unlock()
+
 	for _, r := range sc.corrupt {
 		t.emit(r, "checksum failure during read repair: "+key)
 	}
@@ -330,20 +627,14 @@ func (t *TolerantDB) repairServe(key string) ([]byte, string, error) {
 				t.emit(r, "replica divergence (outvoted): "+key)
 			}
 		}
+		t.statsMu.Lock()
 		t.stats.Repairs++
-		t.counter("kvdb_read_repairs_total").Inc()
-		return winner, "repaired", nil
+		t.statsMu.Unlock()
+		t.ins().repairs().Inc()
+		info.Result = "repaired"
+		return winner, nil
 	}
 	if errors.Is(err, ErrDivergent) && len(sc.votes) > 0 {
-		// No majority among the valid reads: serve the plurality value
-		// (first-seen order breaks ties) and mark the row suspect rather
-		// than failing the client.
-		best := 0
-		for i := range sc.votes {
-			if len(sc.votes[i].replicas) > len(sc.votes[best].replicas) {
-				best = i
-			}
-		}
 		for i, vote := range sc.votes {
 			if i == best {
 				continue
@@ -352,29 +643,33 @@ func (t *TolerantDB) repairServe(key string) ([]byte, string, error) {
 				t.emit(r, "replica divergence (no majority): "+key)
 			}
 		}
-		t.suspect[key] = true
+		t.statsMu.Lock()
 		t.stats.DegradedServes++
-		t.counter("kvdb_degraded_serves_total").Inc()
-		return sc.votes[best].val, "degraded", nil
+		t.statsMu.Unlock()
+		t.ins().degraded().Inc()
+		info.Result = "degraded"
+		return sc.votes[best].val, nil
 	}
 	if errors.Is(err, ErrNotFound) {
-		return nil, "not-found", err
+		info.Result = "not-found"
+		return nil, err
 	}
 	// Total corruption: nothing trustworthy to serve.
+	t.statsMu.Lock()
 	t.stats.Errors++
-	t.counter("kvdb_read_errors_total").Inc()
-	return nil, "error", err
+	t.statsMu.Unlock()
+	t.ins().readErrors().Inc()
+	info.Result = "error"
+	return nil, err
 }
 
 // QueryByValue answers a secondary-index query by voting the answer across
 // replicas — the §2 replica-dependent index-corruption incident, detected
 // and outvoted at serve time. Minority replicas are reported; the client
-// always gets the plurality answer.
+// always gets the plurality answer. The index scan crosses every key
+// partition, so all shard read locks are held (ascending) for the scan.
 func (t *TolerantDB) QueryByValue(value []byte) []string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.stats.IndexQueries++
-	t.db.Stats.IndexQueries++
+	t.lockAllRead()
 	type answer struct {
 		keys     []string
 		replicas []*Replica
@@ -394,16 +689,23 @@ func (t *TolerantDB) QueryByValue(value []byte) []string {
 			answers = append(answers, answer{keys: keys, replicas: []*Replica{r}})
 		}
 	}
+	t.unlockAllRead()
 	best := 0
 	for i := range answers {
 		if len(answers[i].replicas) > len(answers[best].replicas) {
 			best = i
 		}
 	}
+	t.statsMu.Lock()
+	t.stats.IndexQueries++
+	t.db.Stats.IndexQueries++
 	if len(answers) > 1 {
 		t.stats.IndexDivergence++
 		t.db.Stats.IndexDivergence++
-		t.counter("kvdb_index_divergence_total").Inc()
+	}
+	t.statsMu.Unlock()
+	if len(answers) > 1 {
+		t.ins().indexDivergence().Inc()
 		for i, a := range answers {
 			if i == best {
 				continue
@@ -416,37 +718,91 @@ func (t *TolerantDB) QueryByValue(value []byte) []string {
 	return answers[best].keys
 }
 
-// pickReplica returns the next untried replica, round-robin from the
-// store's cursor. The first pass skips replicas the health view avoids;
-// the second accepts them — serving from a suspect core beats not serving
-// at all. Returns nil when every replica has been tried.
-func (t *TolerantDB) pickReplica(tried map[*Replica]bool) *Replica {
-	n := len(t.db.replicas)
-	for pass := 0; pass < 2; pass++ {
-		for i := 0; i < n; i++ {
-			idx := (t.db.next + i) % n
-			r := t.db.replicas[idx]
-			if tried[r] {
-				continue
-			}
-			if pass == 0 && t.avoid(r) {
-				continue
-			}
-			t.db.next = (idx + 1) % n
-			return r
-		}
+func (t *TolerantDB) lockAllRead() {
+	if t.cfg.SingleLock {
+		t.shards[0].mu.Lock()
+		return
 	}
-	return nil
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+	}
 }
 
-func (t *TolerantDB) avoid(r *Replica) bool {
-	return t.cfg.Health != nil && t.cfg.Health(r.Machine, r.CoreIndex)
+func (t *TolerantDB) unlockAllRead() {
+	if t.cfg.SingleLock {
+		t.shards[0].mu.Unlock()
+		return
+	}
+	for i := range t.shards {
+		t.shards[i].mu.RUnlock()
+	}
+}
+
+// healthMemo is the per-read snapshot of the health view: each replica's
+// Health verdict is evaluated at most once per read, instead of once per
+// selection scan that passes over it.
+type healthMemo struct {
+	t     *TolerantDB
+	state []int8 // 0 unknown, 1 avoid, 2 healthy
+}
+
+func (h *healthMemo) avoid(i int) bool {
+	t := h.t
+	if t.cfg.Health == nil {
+		return false
+	}
+	if h.state == nil {
+		h.state = make([]int8, len(t.db.replicas))
+	}
+	if s := h.state[i]; s != 0 {
+		return s == 1
+	}
+	r := t.db.replicas[i]
+	if t.cfg.Health(r.Machine, r.CoreIndex) {
+		h.state[i] = 1
+		return true
+	}
+	h.state[i] = 2
+	return false
+}
+
+// pickReplica returns the index of the next untried replica, round-robin
+// from the store's cursor. The first pass skips replicas the health view
+// avoids; the second accepts them — serving from a suspect core beats not
+// serving at all. Returns -1 when every replica has been tried. The
+// cursor is renormalized before use so a value that overflowed (or was
+// pre-seeded out of range) can never index negatively.
+func (t *TolerantDB) pickReplica(tried []bool, hm *healthMemo) int {
+	n := len(t.db.replicas)
+	cur := int(t.cursor.Load())
+	if cur < 0 || cur >= n {
+		cur %= n
+		if cur < 0 {
+			cur += n
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			idx := (cur + i) % n
+			if tried[idx] {
+				continue
+			}
+			if pass == 0 && hm.avoid(idx) {
+				continue
+			}
+			t.cursor.Store(int64((idx + 1) % n))
+			return idx
+		}
+	}
+	return -1
 }
 
 // emit converts one detection event into a suspect-report signal
-// attributing the serving replica's core and delivers it via the sink.
-// Replicas without a fleet slot report under their replica ID with core
-// -1 (machine-level attribution).
+// attributing the serving replica's core and hands it to the sink —
+// synchronously in order (SignalQueue == 0) or via the bounded async
+// queue. Replicas without a fleet slot report under their replica ID with
+// core -1 (machine-level attribution). Never called with a shard lock
+// held in sharded mode.
 func (t *TolerantDB) emit(r *Replica, detail string) {
 	machine := r.Machine
 	if machine == "" {
@@ -461,35 +817,96 @@ func (t *TolerantDB) emit(r *Replica, detail string) {
 	if t.cfg.Now != nil {
 		sig.Time = t.cfg.Now()
 	}
-	if t.cfg.Sink == nil {
-		t.stats.SignalsDropped++
-		t.counter("kvdb_signals_dropped_total").Inc()
+	if t.queue != nil {
+		if t.queue.offer(sig) {
+			return
+		}
+		t.statsMu.Lock()
+		t.stats.SignalsShed++
+		t.statsMu.Unlock()
+		t.ins().shed().Inc()
 		return
 	}
-	if err := t.cfg.Sink(sig); err != nil {
-		t.stats.SignalsDropped++
-		t.counter("kvdb_signals_dropped_total").Inc()
-		return
-	}
-	t.stats.SignalsSent++
-	t.counter("kvdb_signals_total", obs.L("kind", sig.Kind.String())).Inc()
+	t.deliver([]detect.Signal{sig})
 }
 
-// backoff sleeps before retry number retry (0-based): RetryBackoff doubled
-// per retry, capped at MaxBackoff. No-op when RetryBackoff is zero.
-func (t *TolerantDB) backoff(retry int) {
-	d := t.cfg.RetryBackoff
-	if d <= 0 {
+// deliver pushes a batch of signals into the configured sink and accounts
+// the outcome. Used directly by synchronous emits (batches of one) and by
+// the async flusher.
+func (t *TolerantDB) deliver(sigs []detect.Signal) {
+	if len(sigs) == 0 {
 		return
 	}
-	d <<= uint(retry)
+	ins := t.ins()
+	drop := func(n int) {
+		t.statsMu.Lock()
+		t.stats.SignalsDropped += n
+		t.statsMu.Unlock()
+		ins.dropped().Add(float64(n))
+	}
+	sent := func(n int, kind detect.SignalKind) {
+		t.statsMu.Lock()
+		t.stats.SignalsSent += n
+		t.statsMu.Unlock()
+		ins.signals(kind).Add(float64(n))
+	}
+	switch {
+	case t.cfg.BatchSink != nil:
+		if err := t.cfg.BatchSink(sigs); err != nil {
+			drop(len(sigs))
+			return
+		}
+		sent(len(sigs), sigs[0].Kind)
+	case t.cfg.Sink != nil:
+		for _, sig := range sigs {
+			if err := t.cfg.Sink(sig); err != nil {
+				drop(1)
+				continue
+			}
+			sent(1, sig.Kind)
+		}
+	default:
+		drop(len(sigs))
+	}
+}
+
+// backoffDelay computes the delay before retry number retry (0-based):
+// RetryBackoff doubled per retry, capped at MaxBackoff. Doubling is
+// stepwise with an overflow guard — a shift by the raw retry count
+// overflows time.Duration (a signed 64-bit int) past retry ~30 for
+// millisecond bases — so pathological retry counts saturate at the cap
+// instead of going negative and skipping the sleep entirely.
+func (t *TolerantDB) backoffDelay(retry int) time.Duration {
+	d := t.cfg.RetryBackoff
+	if d <= 0 {
+		return 0
+	}
 	max := t.cfg.MaxBackoff
 	if max <= 0 {
 		max = 8 * t.cfg.RetryBackoff
 	}
+	for i := 0; i < retry && d < max; i++ {
+		d <<= 1
+		if d <= 0 { // overflowed
+			return max
+		}
+	}
 	if d > max {
 		d = max
 	}
+	return d
+}
+
+// backoff sleeps before retry number retry (0-based), holding no lock (in
+// SingleLock baseline mode the caller's global lock is deliberately held —
+// that stall is what the baseline measures). No-op when RetryBackoff is
+// zero.
+func (t *TolerantDB) backoff(retry int, info *ReadInfo) {
+	d := t.backoffDelay(retry)
+	if d == 0 {
+		return
+	}
+	info.BackedOff += d
 	sleep := t.cfg.sleep
 	if sleep == nil {
 		sleep = time.Sleep
@@ -497,10 +914,179 @@ func (t *TolerantDB) backoff(retry int) {
 	sleep(d)
 }
 
-func (t *TolerantDB) counter(name string, labels ...obs.Label) *obs.Counter {
-	return t.cfg.Metrics.Counter(name, labels...)
+func (t *TolerantDB) ins() *kvInstruments { return t.inst.Load() }
+
+// kvInstruments caches instrument handles per registry so hot-path
+// recording is one atomic load instead of a registry mutex + map lookup.
+// Handles are created lazily on first use, preserving the historical
+// "series appear when first incremented" exposition behavior.
+type kvInstruments struct {
+	reg                   *obs.Registry
+	writesC, retriesC     atomic.Pointer[obs.Counter]
+	recoveredC, repairsC  atomic.Pointer[obs.Counter]
+	degradedC, idxDivC    atomic.Pointer[obs.Counter]
+	errorsC, droppedC     atomic.Pointer[obs.Counter]
+	shedC, sigAppC        atomic.Pointer[obs.Counter]
+	readsOKC, readsRetryC atomic.Pointer[obs.Counter]
+	readsRepairC          atomic.Pointer[obs.Counter]
+	readsDegradedC        atomic.Pointer[obs.Counter]
+	readsNotFoundC        atomic.Pointer[obs.Counter]
+	readsErrorC           atomic.Pointer[obs.Counter]
+	attemptsH             atomic.Pointer[obs.Histogram]
 }
 
-func (t *TolerantDB) histogram(name string) *obs.Histogram {
-	return t.cfg.Metrics.HistogramBuckets(name, readAttemptBuckets)
+func newKVInstruments(reg *obs.Registry) *kvInstruments {
+	return &kvInstruments{reg: reg}
+}
+
+func (k *kvInstruments) counter(p *atomic.Pointer[obs.Counter], name string, labels ...obs.Label) *obs.Counter {
+	if c := p.Load(); c != nil {
+		return c
+	}
+	c := k.reg.Counter(name, labels...) // nil registry → shared no-op
+	p.Store(c)
+	return c
+}
+
+func (k *kvInstruments) writes() *obs.Counter {
+	return k.counter(&k.writesC, "kvdb_writes_total")
+}
+func (k *kvInstruments) retries() *obs.Counter {
+	return k.counter(&k.retriesC, "kvdb_read_retries_total")
+}
+func (k *kvInstruments) recovered() *obs.Counter {
+	return k.counter(&k.recoveredC, "kvdb_reads_recovered_by_retry_total")
+}
+func (k *kvInstruments) repairs() *obs.Counter {
+	return k.counter(&k.repairsC, "kvdb_read_repairs_total")
+}
+func (k *kvInstruments) degraded() *obs.Counter {
+	return k.counter(&k.degradedC, "kvdb_degraded_serves_total")
+}
+func (k *kvInstruments) indexDivergence() *obs.Counter {
+	return k.counter(&k.idxDivC, "kvdb_index_divergence_total")
+}
+func (k *kvInstruments) readErrors() *obs.Counter {
+	return k.counter(&k.errorsC, "kvdb_read_errors_total")
+}
+func (k *kvInstruments) dropped() *obs.Counter {
+	return k.counter(&k.droppedC, "kvdb_signals_dropped_total")
+}
+func (k *kvInstruments) shed() *obs.Counter {
+	return k.counter(&k.shedC, "kvdb_signals_shed_total")
+}
+
+func (k *kvInstruments) signals(kind detect.SignalKind) *obs.Counter {
+	// Every serving-layer signal is SigAppError today; fall back to an
+	// uncached lookup if that ever diversifies.
+	if kind == detect.SigAppError {
+		return k.counter(&k.sigAppC, "kvdb_signals_total", obs.L("kind", kind.String()))
+	}
+	return k.reg.Counter("kvdb_signals_total", obs.L("kind", kind.String()))
+}
+
+func (k *kvInstruments) reads(result string) *obs.Counter {
+	switch result {
+	case "ok":
+		return k.counter(&k.readsOKC, "kvdb_reads_total", obs.L("result", "ok"))
+	case "retried":
+		return k.counter(&k.readsRetryC, "kvdb_reads_total", obs.L("result", "retried"))
+	case "repaired":
+		return k.counter(&k.readsRepairC, "kvdb_reads_total", obs.L("result", "repaired"))
+	case "degraded":
+		return k.counter(&k.readsDegradedC, "kvdb_reads_total", obs.L("result", "degraded"))
+	case "not-found":
+		return k.counter(&k.readsNotFoundC, "kvdb_reads_total", obs.L("result", "not-found"))
+	default:
+		return k.counter(&k.readsErrorC, "kvdb_reads_total", obs.L("result", result))
+	}
+}
+
+func (k *kvInstruments) attempts() *obs.Histogram {
+	if h := k.attemptsH.Load(); h != nil {
+		return h
+	}
+	h := k.reg.HistogramBuckets("kvdb_read_attempts", readAttemptBuckets)
+	k.attemptsH.Store(h)
+	return h
+}
+
+// signalQueue is the bounded async signal buffer: emits append under a
+// short mutex, a single background flusher drains the whole buffer as one
+// batch per wakeup (ceereportd's ingest-queue shape), overflow is shed by
+// the producer. One condition variable covers both directions — producers
+// waking the flusher and the flusher waking Flush waiters — with every
+// state change broadcasting.
+type signalQueue struct {
+	t          *TolerantDB
+	mu         sync.Mutex
+	cond       *sync.Cond
+	buf        []detect.Signal
+	capacity   int
+	closed     bool
+	delivering bool
+	done       chan struct{}
+}
+
+func newSignalQueue(t *TolerantDB, capacity int) *signalQueue {
+	q := &signalQueue{t: t, capacity: capacity, done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go q.run()
+	return q
+}
+
+// offer enqueues one signal; false means the queue is full (or closed)
+// and the signal was shed.
+func (q *signalQueue) offer(sig detect.Signal) bool {
+	q.mu.Lock()
+	if q.closed || len(q.buf) >= q.capacity {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf = append(q.buf, sig)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	return true
+}
+
+func (q *signalQueue) run() {
+	defer close(q.done)
+	q.mu.Lock()
+	for {
+		for len(q.buf) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.buf) == 0 {
+			q.mu.Unlock()
+			return // closed and drained
+		}
+		batch := q.buf
+		q.buf = nil
+		q.delivering = true
+		q.mu.Unlock()
+		q.t.deliver(batch)
+		q.mu.Lock()
+		q.delivering = false
+		q.cond.Broadcast()
+	}
+}
+
+// flush blocks until the queue is empty and no delivery is in flight.
+func (q *signalQueue) flush() {
+	q.mu.Lock()
+	for len(q.buf) > 0 || q.delivering {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// close drains outstanding signals and stops the flusher.
+func (q *signalQueue) close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+	<-q.done
 }

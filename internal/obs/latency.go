@@ -1,0 +1,93 @@
+package obs
+
+// Time-based latency histograms and quantile estimation. The serving-path
+// benchmarks (fleetsim kvbench) need p50/p99/p999 read latency at
+// microsecond resolution — DefBuckets is tuned for phase wall times and
+// bottoms out at 500µs, useless for a store that answers in single-digit
+// microseconds. ExpBuckets builds geometric ladders; Quantile estimates
+// order statistics from the fixed buckets the same way Prometheus's
+// histogram_quantile does (linear interpolation inside the bucket).
+
+import "math"
+
+// ExpBuckets returns count geometric bucket upper bounds: start,
+// start*factor, start*factor², …. It panics on a non-positive start or
+// count, or a factor <= 1 — a degenerate ladder is a programming error,
+// caught at registration like the registry's kind-mismatch panics.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, count > 0")
+	}
+	out := make([]float64, count)
+	b := start
+	for i := 0; i < count; i++ {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets grade serving-path latencies, in seconds: 1µs doubling
+// to ~8.4s. 24 buckets resolve p999 shifts of a few microseconds at the
+// bottom while still capturing multi-second stalls (a reader blocked
+// behind a lock-held backoff) at the top.
+var DefLatencyBuckets = ExpBuckets(1e-6, 2, 24)
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observations,
+// interpolating linearly inside the owning bucket. Observations that
+// landed in the +Inf bucket clamp to the highest finite bound, and an
+// empty histogram returns 0 — both the Prometheus conventions. The bucket
+// reads are not atomic as a set; quantiles read during concurrent
+// observation are estimates (exact once recording has stopped).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	cum := make([]BucketCount, 0, len(h.buckets)+1)
+	var total uint64
+	for i, b := range h.buckets {
+		total += h.counts[i].Load()
+		cum = append(cum, BucketCount{UpperBound: b, Count: total})
+	}
+	total += h.counts[len(h.buckets)].Load()
+	cum = append(cum, BucketCount{UpperBound: math.Inf(1), Count: total})
+	return QuantileFromBuckets(cum, q)
+}
+
+// QuantileFromBuckets estimates the q-quantile from cumulative
+// (Prometheus "le") bucket counts, e.g. a SeriesSnapshot's Buckets. See
+// Histogram.Quantile for the conventions.
+func QuantileFromBuckets(buckets []BucketCount, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var prevCount uint64
+	var prevBound float64
+	for _, b := range buckets {
+		if float64(b.Count) >= rank && b.Count > prevCount {
+			if math.IsInf(b.UpperBound, 1) {
+				// Clamp to the highest finite bound (or 0 if there is none).
+				return prevBound
+			}
+			inBucket := float64(b.Count - prevCount)
+			frac := (rank - float64(prevCount)) / inBucket
+			return prevBound + (b.UpperBound-prevBound)*frac
+		}
+		prevCount = b.Count
+		if !math.IsInf(b.UpperBound, 1) {
+			prevBound = b.UpperBound
+		}
+	}
+	return prevBound
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(DefLatencyBuckets); i++ {
+		if DefLatencyBuckets[i] <= DefLatencyBuckets[i-1] {
+			t.Fatalf("DefLatencyBuckets not ascending at %d: %v", i, DefLatencyBuckets)
+		}
+	}
+	if DefLatencyBuckets[0] != 1e-6 {
+		t.Fatalf("DefLatencyBuckets[0] = %g, want 1µs", DefLatencyBuckets[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate ExpBuckets did not panic")
+		}
+	}()
+	ExpBuckets(1, 1, 3)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat", []float64{1, 2, 4, 8})
+	// 100 observations uniform in (0,1]: every quantile interpolates
+	// inside the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-0.5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 0.5 (midpoint of first bucket)", q)
+	}
+	// Add 100 observations in (2,4]: p75+ moves into that bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	if q := h.Quantile(0.75); q <= 2 || q > 4 {
+		t.Fatalf("p75 = %g, want inside (2,4]", q)
+	}
+	if q := h.Quantile(0.25); q <= 0 || q > 1 {
+		t.Fatalf("p25 = %g, want inside (0,1]", q)
+	}
+	// Quantiles are monotone in q.
+	last := -1.0
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("Quantile not monotone: q=%g gave %g after %g", q, v, last)
+		}
+		last = v
+	}
+	// +Inf landings clamp to the highest finite bound.
+	h.Observe(100)
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 with +Inf landing = %g, want clamp to 8", q)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if q := nilH.Quantile(0.5); q != 0 {
+		t.Fatalf("nil histogram quantile = %g", q)
+	}
+	r := NewRegistry()
+	h := r.HistogramBuckets("empty", []float64{1, 2})
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram quantile = %g", q)
+	}
+	if q := QuantileFromBuckets(nil, 0.5); q != 0 {
+		t.Fatalf("no-bucket quantile = %g", q)
+	}
+	// Snapshot-level helper agrees with the live histogram.
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(1.5)
+	var snap *SeriesSnapshot
+	for _, s := range r.Snapshot() {
+		if s.Name == "empty" {
+			c := s
+			snap = &c
+		}
+	}
+	if snap == nil {
+		t.Fatal("series missing from snapshot")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if a, b := h.Quantile(q), QuantileFromBuckets(snap.Buckets, q); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("q=%g: live %g vs snapshot %g", q, a, b)
+		}
+	}
+}
