@@ -2,15 +2,23 @@
 // control plane:
 //
 //	ceectl -addr http://localhost:8080 list              # full ledger
-//	ceectl list -state cordoned                          # filter by state
+//	ceectl list -state cordoned -pool web                # filter the ledger
 //	ceectl show m00042                                   # one machine
 //	ceectl cordon m00042 -reason "convicted, score 9.1"  # operator verbs
 //	ceectl drain m00042
 //	ceectl repair m00042
 //	ceectl release m00042 -reason "repair verified"
 //	ceectl remove m00042 -reason "recidivist"
+//	ceectl assign m00042 -pool web                       # pool membership
+//	ceectl pools                                         # capacity + deferred drains
 //	ceectl stats                                         # service stats
+//	ceectl readyz                                        # readiness probe
 //	ceectl flood -n 200 -machines 50 -batch 64           # batched load
+//
+// A drain or cordon that would push the machine's pool below its
+// capacity floor comes back deferred (HTTP 202): the intent is durably
+// queued and admits itself as repaired capacity returns; ceectl prints
+// the record with deferred=true and exits 0.
 //
 // Exit status: 0 on success, 1 when the server rejects the request (for
 // a verb, typically an illegal lifecycle transition → HTTP 409), 2 on
@@ -37,7 +45,8 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage: ceectl [-addr URL] <command> [flags] [machine]
 
 Commands:
-  list [-state S]          list machine lifecycle records
+  list [-state S] [-pool P]
+                           list machine lifecycle records (table)
   show <machine>           show one machine's record
   cordon <machine>         stop scheduling new work on the machine
   drain <machine>          cordon + migrate work away (completes immediately)
@@ -45,13 +54,17 @@ Commands:
   release <machine>        return a machine to service (repaired → probation,
                            drained/probation/suspect → healthy)
   remove <machine>         permanently decommission the machine
+  assign <machine> -pool P assign the machine to a capacity pool
+  pools                    per-pool capacity, floors, and deferred drains
   stats                    report-service statistics
+  readyz                   readiness probe (exit 0 ready, 1 degraded)
   flood [-n N] [-machines M] [-batch B] [-source S]
                            ship N synthetic report batches (smoke/load tool)
   help                     show this message
 
 The -addr flag (default http://localhost:8080, or $CEEREPORTD_ADDR)
-must precede the command. Verb flags: -reason, -actor, -day.
+must precede the command. Verb flags: -reason, -actor, -day, -score;
+drain/cordon answers may be deferred (pool at its capacity floor).
 `)
 }
 
@@ -75,10 +88,14 @@ func main() {
 		os.Exit(cmdList(ctx, client, args[1:]))
 	case "show":
 		os.Exit(cmdShow(ctx, client, args[1:]))
-	case "cordon", "drain", "repair", "release", "remove":
+	case "cordon", "drain", "repair", "release", "remove", "assign":
 		os.Exit(cmdVerb(ctx, client, cmd, args[1:]))
+	case "pools":
+		os.Exit(cmdPools(ctx, client))
 	case "stats":
 		os.Exit(cmdStats(ctx, client))
+	case "readyz":
+		os.Exit(cmdReadyz(ctx, client))
 	case "flood":
 		os.Exit(cmdFlood(ctx, client, args[1:]))
 	case "help", "-h", "--help":
@@ -104,26 +121,45 @@ func fail(err error) int {
 }
 
 func printRecord(m report.MachineJSON) {
-	fmt.Printf("%-12s %-10s since_day=%-4d repairs=%d transitions=%d",
-		m.Machine, m.State, m.SinceDay, m.RepairCycles, m.Transitions)
-	if m.LastReason != "" {
-		fmt.Printf(" reason=%q", m.LastReason)
-	}
-	fmt.Println()
+	renderRecord(os.Stdout, m)
 }
 
 func cmdList(ctx context.Context, c *report.Client, args []string) int {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	state := fs.String("state", "", "filter by lifecycle state")
+	pool := fs.String("pool", "", "filter by pool membership")
 	fs.Parse(args)
-	machines, err := c.Machines(ctx, *state)
+	machines, err := c.Machines(ctx, *state, *pool)
 	if err != nil {
 		return fail(err)
 	}
-	for _, m := range machines {
-		printRecord(m)
-	}
+	renderMachineTable(os.Stdout, machines)
 	fmt.Fprintf(os.Stderr, "%d machine(s)\n", len(machines))
+	return 0
+}
+
+func cmdPools(ctx context.Context, c *report.Client) int {
+	p, err := c.Pools(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	renderPools(os.Stdout, p)
+	return 0
+}
+
+func cmdReadyz(ctx context.Context, c *report.Client) int {
+	out, ready, err := c.Readyz(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("status=%s wal_enabled=%t wal_healthy=%t queue_depth=%d/%d\n",
+		out.Status, out.WAL.Enabled, out.WAL.Healthy, out.Queue.Depth, out.Queue.Capacity)
+	if out.WAL.Error != "" {
+		fmt.Printf("wal_error=%q\n", out.WAL.Error)
+	}
+	if !ready {
+		return 1
+	}
 	return 0
 }
 
@@ -145,6 +181,8 @@ func cmdVerb(ctx context.Context, c *report.Client, verb string, args []string) 
 	reason := fs.String("reason", "", "reason recorded in the lifecycle ledger")
 	actor := fs.String("actor", "ceectl", "actor recorded in the lifecycle ledger")
 	day := fs.Int("day", 0, "ledger day stamp")
+	score := fs.Float64("score", 0, "conviction score (orders deferred drains)")
+	pool := fs.String("pool", "", "pool name (assign verb)")
 	// Accept the machine before the flags ("ceectl cordon m1 -reason x")
 	// — the natural word order — as well as after them.
 	var machine string
@@ -158,8 +196,12 @@ func cmdVerb(ctx context.Context, c *report.Client, verb string, args []string) 
 		fmt.Fprintf(os.Stderr, "usage: ceectl %s <machine> [-reason R] [-actor A] [-day D]\n", verb)
 		return 2
 	}
+	if verb == "assign" && *pool == "" {
+		fmt.Fprintln(os.Stderr, "usage: ceectl assign <machine> -pool <name>")
+		return 2
+	}
 	m, err := c.MachineAction(ctx, machine, verb, report.ActionRequest{
-		Reason: *reason, Actor: *actor, Day: *day,
+		Reason: *reason, Actor: *actor, Day: *day, Score: *score, Pool: *pool,
 	})
 	if err != nil {
 		return fail(err)

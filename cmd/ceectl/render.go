@@ -1,0 +1,79 @@
+package main
+
+// Table rendering for ceectl output, separated from command plumbing so
+// golden tests can drive it with fixed data and assert exact bytes.
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/report"
+)
+
+// renderRecord writes one machine record as a single line.
+func renderRecord(w io.Writer, m report.MachineJSON) {
+	fmt.Fprintf(w, "%-12s %-10s since_day=%-4d repairs=%d transitions=%d",
+		m.Machine, m.State, m.SinceDay, m.RepairCycles, m.Transitions)
+	if m.Pool != "" {
+		fmt.Fprintf(w, " pool=%s", m.Pool)
+	}
+	if m.Deferred {
+		fmt.Fprint(w, " deferred=true")
+	}
+	if m.LastReason != "" {
+		fmt.Fprintf(w, " reason=%q", m.LastReason)
+	}
+	fmt.Fprintln(w)
+}
+
+// renderMachineTable writes the ledger as an aligned table.
+func renderMachineTable(w io.Writer, machines []report.MachineJSON) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "MACHINE\tSTATE\tPOOL\tSINCE\tREPAIRS\tREASON")
+	for _, m := range machines {
+		pool := m.Pool
+		if pool == "" {
+			pool = "-"
+		}
+		reason := m.LastReason
+		if reason == "" {
+			reason = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\n",
+			m.Machine, m.State, pool, m.SinceDay, m.RepairCycles, reason)
+	}
+	tw.Flush()
+}
+
+// renderPools writes per-pool capacity accounting and the deferred-drain
+// queue in admission order.
+func renderPools(w io.Writer, p report.PoolsJSON) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "POOL\tMACHINES\tSERVING\tFLOOR\tDEFERRED\tMIN")
+	for _, ps := range p.Pools {
+		min := fmt.Sprintf("%d", ps.MinHealthyCount)
+		if ps.MinHealthy > 0 {
+			min = fmt.Sprintf("%.0f%%", ps.MinHealthy*100)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n",
+			ps.Name, ps.Machines, ps.Serving, ps.Floor, ps.Deferred, min)
+	}
+	tw.Flush()
+	if len(p.Deferred) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Deferred drains (admission order):")
+	dtw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(dtw, "MACHINE\tPOOL\tVERB\tSCORE\tDAY\tREASON")
+	for _, d := range p.Deferred {
+		pool := d.Pool
+		if pool == "" {
+			pool = "-"
+		}
+		fmt.Fprintf(dtw, "%s\t%s\t%s\t%.2f\t%d\t%s\n",
+			d.Machine, pool, d.Verb, d.Score, d.Day, d.Reason)
+	}
+	dtw.Flush()
+}

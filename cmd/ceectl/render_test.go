@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lifecycle"
+	"repro/internal/report"
+)
+
+func TestRenderMachineTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderMachineTable(&buf, []report.MachineJSON{
+		{Machine: "m00001", State: "cordoned", Pool: "web", SinceDay: 12, RepairCycles: 1, LastReason: "cee conviction"},
+		{Machine: "m00002", State: "healthy", SinceDay: 0},
+	})
+	want := "" +
+		"MACHINE  STATE     POOL  SINCE  REPAIRS  REASON\n" +
+		"m00001   cordoned  web   12     1        cee conviction\n" +
+		"m00002   healthy   -     0      0        -\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("machine table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestRenderRecordGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderRecord(&buf, report.MachineJSON{
+		Machine: "m00003", State: "healthy", SinceDay: 4,
+		Pool: "db", Deferred: true, LastReason: "floor",
+	})
+	want := "m00003       healthy    since_day=4    repairs=0 transitions=0 pool=db deferred=true reason=\"floor\"\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("record:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestRenderPoolsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderPools(&buf, report.PoolsJSON{
+		Pools: []lifecycle.PoolStatus{
+			{Name: "db", Machines: 4, Serving: 4, Floor: 2, MinHealthyCount: 2},
+			{Name: "web", Machines: 8, Serving: 6, Floor: 6, Deferred: 2, MinHealthy: 0.75},
+		},
+		Deferred: []lifecycle.DeferredDrain{
+			{Machine: "m00004", Pool: "web", Verb: "draining", Score: 8.5, Day: 31, Reason: "cee conviction"},
+			{Machine: "m00009", Pool: "web", Verb: "cordoned", Score: 2, Day: 30, Reason: "maintenance"},
+		},
+	})
+	want := "" +
+		"POOL  MACHINES  SERVING  FLOOR  DEFERRED  MIN\n" +
+		"db    4         4        2      0         2\n" +
+		"web   8         6        6      2         75%\n" +
+		"\n" +
+		"Deferred drains (admission order):\n" +
+		"MACHINE  POOL  VERB      SCORE  DAY  REASON\n" +
+		"m00004   web   draining  8.50   31   cee conviction\n" +
+		"m00009   web   cordoned  2.00   30   maintenance\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("pools table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestRenderPoolsNoDeferredOmitsQueue(t *testing.T) {
+	var buf bytes.Buffer
+	renderPools(&buf, report.PoolsJSON{
+		Pools: []lifecycle.PoolStatus{{Name: "web", Machines: 2, Serving: 2}},
+	})
+	want := "" +
+		"POOL  MACHINES  SERVING  FLOOR  DEFERRED  MIN\n" +
+		"web   2         2        0      0         0\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("pools table:\n%q\nwant:\n%q", got, want)
+	}
+}

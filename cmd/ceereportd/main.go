@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ceereportd -addr :8080 -cores-per-machine 64 \
-//	           -wal /var/lib/ceereportd/lifecycle.wal -queue 65536
+//	           -wal /var/lib/ceereportd/lifecycle.wal -queue 65536 \
+//	           -pools "web:0.9,db:2" -notify-log -notify-webhook http://pager/hook
 //
 // API:
 //
@@ -27,9 +28,25 @@
 //	                  accepted signals by kind, rejected reports by
 //	                  reason, totals, queue/shed counters
 //	GET  /v1/healthz  → 200, {"status":"ok"} — liveness probe
+//	GET  /v1/readyz   → 200 when serving normally; 503 {"status":"degraded"}
+//	                  when the lifecycle WAL is unwritable or the ingest
+//	                  queue is saturated — readiness, distinct from liveness
 //	GET  /v1/machines — machine-lifecycle ledger (with -wal); plus
-//	                  GET /v1/machines/{id} and the operator verbs
-//	                  POST /v1/machines/{id}/{cordon,drain,repair,release,remove}
+//	                  GET /v1/machines/{id}, ?state=/&pool= filters, and the
+//	                  operator verbs POST /v1/machines/{id}/{cordon,drain,
+//	                  repair,release,remove,assign} (202 when a cordon/drain
+//	                  is deferred behind a pool's capacity floor)
+//	GET  /v1/pools    → 200, per-pool capacity accounting (with -pools) plus
+//	                  the deferred-drain queue in admission order
+//
+// -pools declares capacity floors ("web:0.9,db:2": a value below 1 is the
+// fraction of the pool that must stay serving, 1 or more an absolute
+// machine count). Cordons and drains that would breach a floor are parked
+// on a score-ordered queue (HTTP 202) and admitted as repaired machines
+// return. -notify-log and -notify-webhook attach operator notification
+// sinks for every lifecycle transition and drain-queue change; webhook
+// delivery retries with backoff behind an async queue that never blocks a
+// transition.
 //
 // Error contract: every non-2xx response carries Content-Type
 // application/json and the uniform envelope {"error":"<human-readable
@@ -55,12 +72,68 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/lifecycle"
+	"repro/internal/remediate"
 	"repro/internal/report"
 )
+
+// parsePools decodes the -pools flag: comma-separated name:floor pairs
+// where a floor below 1 is a MinHealthy fraction ("web:0.9" keeps 90% of
+// web serving) and a floor of 1 or more is an absolute MinHealthyCount
+// ("db:2" keeps at least 2 db machines serving).
+func parsePools(spec string) ([]lifecycle.PoolConfig, error) {
+	var out []lifecycle.PoolConfig
+	seen := map[string]bool{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(field, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("pool %q: want name:floor", field)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate pool %q", name)
+		}
+		seen[name] = true
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("pool %q: floor must be a positive number, got %q", name, val)
+		}
+		cfg := lifecycle.PoolConfig{Name: name}
+		if f < 1 {
+			cfg.MinHealthy = f
+		} else {
+			if f != float64(int(f)) {
+				return nil, fmt.Errorf("pool %q: absolute floor must be an integer, got %q", name, val)
+			}
+			cfg.MinHealthyCount = int(f)
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// notifyObserver adapts the notifier chain to the lifecycle observer
+// seam, translating WAL records into operator events.
+func notifyObserver(sinks []remediate.Notifier) func(lifecycle.Transition) {
+	return func(t lifecycle.Transition) {
+		e := remediate.Event{
+			Seq: t.Seq, Day: t.Day, Machine: t.Machine,
+			From: t.From, To: t.To, Kind: t.Kind, Pool: t.Pool,
+			Score: t.Score, Reason: t.Reason, Actor: t.Actor,
+		}
+		for _, s := range sinks {
+			s.Notify(e)
+		}
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -68,14 +141,27 @@ func main() {
 	walPath := flag.String("wal", "", "machine-lifecycle WAL path (empty disables the /v1/machines admin API)")
 	queue := flag.Int("queue", 0, "bounded ingest-queue capacity in signals (0 = synchronous ingest)")
 	maxRepairs := flag.Int("max-repairs", 2, "repair cycles before a recidivist machine is permanently removed")
+	pools := flag.String("pools", "", `capacity pools as name:floor pairs ("web:0.9,db:2"; <1 = serving fraction, >=1 = absolute count; needs -wal)`)
+	notifyLog := flag.Bool("notify-log", false, "log every lifecycle transition and drain-queue change to stderr (needs -wal)")
+	notifyWebhook := flag.String("notify-webhook", "", "POST every lifecycle event to this URL, with retry, behind an async queue (needs -wal)")
 	flag.Parse()
 
 	if *cores <= 0 {
 		fmt.Fprintln(os.Stderr, "ceereportd: cores-per-machine must be positive")
 		os.Exit(2)
 	}
+	poolCfgs, err := parsePools(*pools)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ceereportd: -pools: %v\n", err)
+		os.Exit(2)
+	}
+	if *walPath == "" && (len(poolCfgs) > 0 || *notifyLog || *notifyWebhook != "") {
+		fmt.Fprintln(os.Stderr, "ceereportd: -pools and -notify-* need the lifecycle ledger (-wal)")
+		os.Exit(2)
+	}
 	srv := report.NewServer(*cores)
 	var life *lifecycle.Manager
+	var notifiers []remediate.Notifier
 	if *walPath != "" {
 		var (
 			info lifecycle.RecoverInfo
@@ -91,6 +177,22 @@ func main() {
 		}
 		log.Printf("ceereportd: lifecycle ledger recovered from %s (%d records, %d torn bytes truncated)",
 			*walPath, info.Records, info.TornBytes)
+		for _, cfg := range poolCfgs {
+			life.DefinePool(cfg)
+		}
+		// The observer is attached after Open so recovery replay does not
+		// re-notify events that were already delivered in a prior life.
+		if *notifyLog {
+			notifiers = append(notifiers, remediate.NewLogNotifier(os.Stderr))
+		}
+		if *notifyWebhook != "" {
+			// The webhook blocks on delivery and the observer runs under
+			// the manager lock, so it goes behind the async queue.
+			notifiers = append(notifiers, remediate.NewAsync(&remediate.WebhookNotifier{URL: *notifyWebhook}, 1024))
+		}
+		if len(notifiers) > 0 {
+			life.SetObserver(notifyObserver(notifiers))
+		}
 		srv.SetLifecycle(life)
 	}
 	if *queue > 0 {
@@ -131,12 +233,18 @@ func main() {
 		log.Printf("ceereportd: serve: %v", err)
 		os.Exit(1)
 	}
-	// HTTP is quiesced: flush the ingest queue, then seal the WAL.
+	// HTTP is quiesced: flush the ingest queue, seal the WAL, then flush
+	// the notifier chain (no transitions can fire once the WAL is sealed).
 	srv.Close()
 	if life != nil {
 		if err := life.Close(); err != nil {
 			log.Printf("ceereportd: lifecycle close: %v", err)
 			os.Exit(1)
+		}
+	}
+	for _, n := range notifiers {
+		if err := n.Close(); err != nil {
+			log.Printf("ceereportd: notifier close: %v", err)
 		}
 	}
 	log.Print("ceereportd: drained cleanly")

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/lifecycle"
+)
+
+func TestParsePools(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    []lifecycle.PoolConfig
+		wantErr bool
+	}{
+		{spec: "", want: nil},
+		{spec: "web:0.9", want: []lifecycle.PoolConfig{{Name: "web", MinHealthy: 0.9}}},
+		{spec: "db:2", want: []lifecycle.PoolConfig{{Name: "db", MinHealthyCount: 2}}},
+		{
+			spec: "web:0.9, db:2",
+			want: []lifecycle.PoolConfig{
+				{Name: "web", MinHealthy: 0.9},
+				{Name: "db", MinHealthyCount: 2},
+			},
+		},
+		{spec: "web:1", want: []lifecycle.PoolConfig{{Name: "web", MinHealthyCount: 1}}},
+		{spec: "web:0.9,web:2", wantErr: true}, // duplicate name
+		{spec: "web", wantErr: true},           // missing floor
+		{spec: ":0.9", wantErr: true},          // missing name
+		{spec: "web:zero", wantErr: true},      // non-numeric floor
+		{spec: "web:0", wantErr: true},         // zero floor
+		{spec: "web:-1", wantErr: true},        // negative floor
+		{spec: "web:2.5", wantErr: true},       // fractional absolute floor
+	}
+	for _, tc := range cases {
+		got, err := parsePools(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parsePools(%q): want error, got %+v", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parsePools(%q): %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parsePools(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}

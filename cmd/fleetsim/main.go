@@ -41,6 +41,7 @@ Commands:
   experiments [flags]      run the paper's experiment registry (legacy flags)
   bench [flags]            benchmark the day loop, append BENCH_fleetsim.json
   kvbench [flags]          load-test tolerant kv serving, append BENCH_kvdb.json
+  chaos [-quick]           fault-inject the control plane, check its invariants
   help                     show this message
 
 Run 'fleetsim <command> -h' for the command's flags. Invoking fleetsim
@@ -70,6 +71,8 @@ func main() {
 		os.Exit(cmdBench(args[1:]))
 	case "kvbench":
 		os.Exit(cmdKVBench(args[1:]))
+	case "chaos":
+		os.Exit(cmdChaos(args[1:]))
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 		os.Exit(0)

@@ -1,0 +1,140 @@
+// Package chaos fault-injects the control plane's own infrastructure —
+// the disk under the lifecycle WAL and the network under the report
+// client and webhook notifier. The paper's §5 point is that detection and
+// mitigation machinery runs on the same unreliable fleet it polices;
+// this package is how the repo proves its control plane degrades
+// gracefully when that machinery's disk fills, its writes tear, and its
+// network drops.
+//
+// All fault arming is deterministic: callers arm "the next N operations
+// fail" style counters, never probabilities, so chaos tests and scenario
+// runs stay bit-identical.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/lifecycle"
+)
+
+// ErrInjected is the base error wrapped by every injected fault, so tests
+// can assert a failure came from the harness and not the real system.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// FS wraps a lifecycle.FS with deterministic write/sync fault injection.
+// Arm faults at any time (methods are safe for concurrent use); an
+// unarmed FS is a passthrough.
+type FS struct {
+	mu   sync.Mutex
+	base lifecycle.FS
+
+	failWrites int  // fail the next N writes outright (no bytes reach disk)
+	tornWrites int  // next N writes persist only half their bytes, then fail
+	failSyncs  int  // fail the next N fsyncs
+	failTruncs int  // fail the next N truncates (breaks append rollback)
+	enospc     bool // sticky: every write fails with a disk-full error
+	injected   int  // total faults fired
+}
+
+// NewFS returns a fault-injecting filesystem over base (nil means the
+// real filesystem).
+func NewFS(base lifecycle.FS) *FS {
+	if base == nil {
+		base = lifecycle.OSFS()
+	}
+	return &FS{base: base}
+}
+
+// OpenFile opens the file on the base filesystem and wraps it with the
+// fault seam.
+func (c *FS) OpenFile(path string) (lifecycle.File, error) {
+	f, err := c.base.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, f: f}, nil
+}
+
+// FailWrites arms the next n writes to fail with no bytes written.
+func (c *FS) FailWrites(n int) { c.mu.Lock(); c.failWrites += n; c.mu.Unlock() }
+
+// TornWrites arms the next n writes to persist only half their bytes
+// before failing — the torn-record signature.
+func (c *FS) TornWrites(n int) { c.mu.Lock(); c.tornWrites += n; c.mu.Unlock() }
+
+// FailSyncs arms the next n fsyncs to fail after the write succeeded.
+func (c *FS) FailSyncs(n int) { c.mu.Lock(); c.failSyncs += n; c.mu.Unlock() }
+
+// FailTruncates arms the next n truncates to fail — this is how a test
+// breaks the WAL's append rollback and proves the log goes read-only
+// instead of corrupting.
+func (c *FS) FailTruncates(n int) { c.mu.Lock(); c.failTruncs += n; c.mu.Unlock() }
+
+// SetENOSPC switches the sticky disk-full mode: while set, every write
+// fails (fsync and truncate still work, as on a real full disk).
+func (c *FS) SetENOSPC(full bool) { c.mu.Lock(); c.enospc = full; c.mu.Unlock() }
+
+// Injected returns the total number of faults fired so far.
+func (c *FS) Injected() int { c.mu.Lock(); defer c.mu.Unlock(); return c.injected }
+
+// chaosFile interposes on the write path; reads and seeks pass through.
+type chaosFile struct {
+	fs *FS
+	f  lifecycle.File
+}
+
+func (c *chaosFile) Read(p []byte) (int, error)                { return c.f.Read(p) }
+func (c *chaosFile) Seek(off int64, whence int) (int64, error) { return c.f.Seek(off, whence) }
+func (c *chaosFile) Close() error                              { return c.f.Close() }
+
+func (c *chaosFile) Write(p []byte) (int, error) {
+	c.fs.mu.Lock()
+	switch {
+	case c.fs.enospc:
+		c.fs.injected++
+		c.fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: write: no space left on device", ErrInjected)
+	case c.fs.failWrites > 0:
+		c.fs.failWrites--
+		c.fs.injected++
+		c.fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: write failed", ErrInjected)
+	case c.fs.tornWrites > 0:
+		c.fs.tornWrites--
+		c.fs.injected++
+		c.fs.mu.Unlock()
+		n, err := c.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: torn write (%d of %d bytes)", ErrInjected, n, len(p))
+	}
+	c.fs.mu.Unlock()
+	return c.f.Write(p)
+}
+
+func (c *chaosFile) Sync() error {
+	c.fs.mu.Lock()
+	if c.fs.failSyncs > 0 {
+		c.fs.failSyncs--
+		c.fs.injected++
+		c.fs.mu.Unlock()
+		return fmt.Errorf("%w: fsync failed", ErrInjected)
+	}
+	c.fs.mu.Unlock()
+	return c.f.Sync()
+}
+
+func (c *chaosFile) Truncate(size int64) error {
+	c.fs.mu.Lock()
+	if c.fs.failTruncs > 0 {
+		c.fs.failTruncs--
+		c.fs.injected++
+		c.fs.mu.Unlock()
+		return fmt.Errorf("%w: truncate failed", ErrInjected)
+	}
+	c.fs.mu.Unlock()
+	return c.f.Truncate(size)
+}

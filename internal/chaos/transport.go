@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NetFault is one kind of injectable network failure.
+type NetFault int
+
+const (
+	// Drop fails the round trip with a transport error (connection never
+	// established — the client cannot know whether the server saw it).
+	Drop NetFault = iota
+	// Reset fails the round trip with a connection-reset error after the
+	// request was (as far as the client knows) sent.
+	Reset
+	// HTTP500 answers with a synthesized 500 without reaching the server.
+	HTTP500
+	// HTTP503 answers with a synthesized 503 (retryable backpressure).
+	HTTP503
+	// Delay sleeps the transport's configured delay, then forwards.
+	Delay
+)
+
+func (k NetFault) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Reset:
+		return "reset"
+	case HTTP500:
+		return "http500"
+	case HTTP503:
+		return "http503"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("NetFault(%d)", int(k))
+}
+
+// NetFaultByName resolves a fault name ("drop", "reset", "http500",
+// "http503", "delay") for scenario event decoding.
+func NetFaultByName(name string) (NetFault, error) {
+	for _, k := range []NetFault{Drop, Reset, HTTP500, HTTP503, Delay} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown network fault %q", name)
+}
+
+// Transport is an http.RoundTripper that consumes a deterministic FIFO
+// queue of injected faults before forwarding to the base transport. Wrap
+// a report.Client's or webhook notifier's HTTP client with it to partition
+// the control plane from its reporters.
+type Transport struct {
+	mu    sync.Mutex
+	base  http.RoundTripper
+	queue []NetFault
+	fired map[NetFault]int
+	delay time.Duration
+}
+
+// NewTransport returns a fault-injecting round tripper over base (nil
+// means http.DefaultTransport).
+func NewTransport(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, fired: map[NetFault]int{}}
+}
+
+// Inject queues n consecutive faults of the given kind; round trips
+// consume the queue in order and behave normally once it is empty.
+func (t *Transport) Inject(kind NetFault, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < n; i++ {
+		t.queue = append(t.queue, kind)
+	}
+}
+
+// SetDelay sets the sleep used by Delay faults (default 50ms).
+func (t *Transport) SetDelay(d time.Duration) {
+	t.mu.Lock()
+	t.delay = d
+	t.mu.Unlock()
+}
+
+// Fired returns how many faults of each kind have fired.
+func (t *Transport) Fired() map[NetFault]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[NetFault]int, len(t.fired))
+	for k, v := range t.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// Pending returns the number of faults still queued.
+func (t *Transport) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.queue)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	if len(t.queue) == 0 {
+		base := t.base
+		t.mu.Unlock()
+		return base.RoundTrip(req)
+	}
+	kind := t.queue[0]
+	t.queue = t.queue[1:]
+	t.fired[kind]++
+	delay := t.delay
+	base := t.base
+	t.mu.Unlock()
+
+	// The request body must be drained and closed on any path that does
+	// not forward it, per the RoundTripper contract.
+	consumeBody := func() {
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+	}
+	switch kind {
+	case Drop:
+		consumeBody()
+		return nil, fmt.Errorf("%w: connection dropped", ErrInjected)
+	case Reset:
+		consumeBody()
+		return nil, fmt.Errorf("%w: connection reset by peer", ErrInjected)
+	case HTTP500, HTTP503:
+		consumeBody()
+		status := http.StatusInternalServerError
+		if kind == HTTP503 {
+			status = http.StatusServiceUnavailable
+		}
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			StatusCode: status,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"application/json"}},
+			Body:    io.NopCloser(strings.NewReader(`{"error":"chaos: injected fault"}`)),
+			Request: req,
+		}, nil
+	case Delay:
+		if delay <= 0 {
+			delay = 50 * time.Millisecond
+		}
+		select {
+		case <-req.Context().Done():
+			consumeBody()
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+		return base.RoundTrip(req)
+	}
+	consumeBody()
+	return nil, fmt.Errorf("%w: unknown fault kind %v", ErrInjected, kind)
+}

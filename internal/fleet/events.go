@@ -119,6 +119,12 @@ func (f *Fleet) DrainMachine(id string) error {
 	if m.drained {
 		return nil
 	}
+	// Pool budget first: a maintenance drain that would breach the
+	// machine's pool floor is deferred — the durable intent is queued and
+	// the machine keeps serving until repaired capacity readmits it.
+	if f.life != nil && f.life.DrainWouldDefer(id) {
+		return f.life.DeferDrain(id, f.day, "maintenance", "operator", 0)
+	}
 	if _, err := f.cluster.Drain(id); err != nil {
 		return err
 	}
@@ -167,6 +173,11 @@ func (f *Fleet) UndrainMachine(id string) error {
 func (f *Fleet) CordonMachine(id string) error {
 	if _, err := f.lookupMachine(id); err != nil {
 		return err
+	}
+	// Pool budget first, as in DrainMachine: a cordon also removes the
+	// machine from its pool's serving set.
+	if f.life != nil && f.life.DrainWouldDefer(id) {
+		return f.life.DeferCordon(id, f.day, "operator cordon", "operator", 0)
 	}
 	if err := f.cluster.Cordon(id); err != nil {
 		return err

@@ -32,6 +32,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/quarantine"
+	"repro/internal/remediate"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/screen"
@@ -117,6 +118,29 @@ type Config struct {
 	// removal, and probationary reintroduction. The zero value disables
 	// it and changes nothing.
 	Lifecycle LifecycleConfig
+	// Remediate selects the remediation policy the suspect phase consults
+	// before convicting a machine (see internal/remediate). The zero value
+	// is the default policy — bit-identical to the fixed paper loop.
+	// Ignored unless Lifecycle is enabled.
+	Remediate RemediateConfig
+}
+
+// RemediateConfig configures the pluggable remediation policy.
+type RemediateConfig struct {
+	// Policy names the policy: "" or "default" (the fixed paper loop),
+	// "escalating" (retest low-score suspects in place before draining),
+	// or "swap" (swap in spare silicon once a pool's repair-ticket budget
+	// is exhausted).
+	Policy string
+	// ScoreThreshold is the escalating policy's immediate-drain score
+	// (0 means its default).
+	ScoreThreshold float64
+	// MaxRetests bounds the escalating policy's in-place retests per
+	// machine (0 means its default).
+	MaxRetests int
+	// RepairTicketsPerPool budgets concurrent whole-machine repair
+	// tickets per pool for the swap policy (0 means unbudgeted).
+	RepairTicketsPerPool int
 }
 
 // SKU is one CPU product population in the fleet.
@@ -289,6 +313,25 @@ type DayStats struct {
 	LifeCordoned, LifeDrained, LifeRemoved, LifeReintroduced int
 }
 
+// LifeTotals is the cumulative pool/remediation accounting of a run. It
+// lives outside DayStats deliberately: the kvdb seed golden fingerprints
+// the printed DayStats stream, so that struct's shape is frozen.
+type LifeTotals struct {
+	// Deferred counts drains parked because applying them would have
+	// breached a pool's capacity floor; Admitted counts parked drains the
+	// ledger admitted as capacity returned.
+	Deferred, Admitted int
+	// Retests and Swaps count the non-default remediation policies'
+	// decisions (escalating retest-in-place; swap-from-spares).
+	Retests, Swaps int
+	// FloorBreaches counts pool×day observations below the serving floor
+	// — the invariant the deferred-drain queue exists to hold at zero.
+	FloorBreaches int
+	// WALErrorDays counts days the lifecycle WAL ended unhealthy (appends
+	// failing) — nonzero only under injected faults.
+	WALErrorDays int
+}
+
 // TriageStats tracks the human-triage ledger for experiment E5. The paper
 // reports that "roughly half of these human-identified suspects are
 // actually proven ... to be mercurial cores — we must extract confessions
@@ -377,6 +420,20 @@ type Fleet struct {
 	life        *lifecycle.Manager
 	lifePending lifeCounters
 	probation   map[string]int
+	// policy is the remediation policy consulted before machine-drain
+	// convictions (nil unless the control plane is on); retests counts
+	// in-place retests per machine for the escalating policy; poolTickets
+	// tracks per-pool repair-ticket budgets for the swap policy (absent
+	// key = unbudgeted); lifeAdmitted buffers machines whose deferred
+	// drains the ledger admitted today, completed cluster-side in
+	// lifeEndOfDay; lifeNotify mirrors ledger records to the configured
+	// notifier. See lifecycle.go and internal/remediate.
+	policy       remediate.Policy
+	retests      map[string]int
+	poolTickets  map[string]int
+	lifeAdmitted []string
+	lifeNotify   remediate.Notifier
+	lifeTotals   LifeTotals
 }
 
 // New builds the fleet population deterministically from cfg.

@@ -15,10 +15,13 @@ package fleet
 // at-any-parallelism contract.
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/lifecycle"
 	"repro/internal/obs"
+	"repro/internal/remediate"
+	"repro/internal/sched"
 )
 
 // LifecycleConfig enables the machine-lifecycle control plane inside the
@@ -38,11 +41,26 @@ type LifecycleConfig struct {
 	// write-ahead log (replayed if the file already holds records). Empty
 	// keeps the ledger memory-only — the usual simulator configuration.
 	WALPath string
+	// FS overrides the filesystem under the WAL (the chaos fault seam);
+	// nil means the real one. Ignored without WALPath.
+	FS lifecycle.FS
+	// Pools declares capacity pools with serving floors; machines are
+	// striped across them round-robin at build time. Drains that would
+	// breach a floor are deferred onto the ledger's admission queue
+	// instead of applied. Empty means no pools and no deferral — the
+	// pre-pools behavior, bit for bit.
+	Pools []lifecycle.PoolConfig
+	// Notifier, when set, receives every applied ledger record (state
+	// transitions and defer/undefer bookkeeping). It is called from the
+	// fleet's serial phases and must not call back into the fleet or the
+	// manager.
+	Notifier remediate.Notifier
 }
 
 // lifeCounters buffers one day's ledger transitions for DayStats.
 type lifeCounters struct {
 	cordoned, drained, removed, reintroduced int
+	deferred, admitted, retests, swaps       int
 }
 
 // buildLifecycle constructs the manager in New when the config enables it.
@@ -52,40 +70,99 @@ func (f *Fleet) buildLifecycle() {
 		return
 	}
 	f.probation = map[string]int{}
-	opts := lifecycle.Options{MaxRepairs: cfg.MaxRepairs, Observer: f.lifeObserve}
+	f.retests = map[string]int{}
+	f.lifeNotify = cfg.Notifier
+	opts := lifecycle.Options{MaxRepairs: cfg.MaxRepairs, Observer: f.lifeObserve, FS: cfg.FS}
 	if cfg.WALPath == "" {
 		f.life = lifecycle.NewManager(opts)
+	} else {
+		life, _, err := lifecycle.Open(cfg.WALPath, opts)
+		if err != nil {
+			panic("fleet: lifecycle WAL: " + err.Error())
+		}
+		f.life = life
+	}
+	f.buildPolicy()
+	if len(cfg.Pools) == 0 {
 		return
 	}
-	life, _, err := lifecycle.Open(cfg.WALPath, opts)
-	if err != nil {
-		panic("fleet: lifecycle WAL: " + err.Error())
+	f.poolTickets = map[string]int{}
+	for _, p := range cfg.Pools {
+		f.life.DefinePool(p)
+		if n := f.cfg.Remediate.RepairTicketsPerPool; n > 0 {
+			f.poolTickets[p.Name] = n
+		}
 	}
-	f.life = life
+	// Stripe machines across pools round-robin. Membership is a WAL
+	// record, so a replayed ledger already holds it and AssignPool no-ops.
+	for i, m := range f.machines {
+		if err := f.life.AssignPool(m.ID, cfg.Pools[i%len(cfg.Pools)].Name); err != nil {
+			panic("fleet: pool assignment: " + err.Error())
+		}
+	}
+}
+
+// buildPolicy resolves the configured remediation policy. Unknown names
+// panic in New, like every other invalid fleet configuration.
+func (f *Fleet) buildPolicy() {
+	r := f.cfg.Remediate
+	switch r.Policy {
+	case "", "default":
+		f.policy = remediate.DefaultPolicy{}
+	case "escalating":
+		f.policy = remediate.EscalatingPolicy{ScoreThreshold: r.ScoreThreshold, MaxRetests: r.MaxRetests}
+	case "swap":
+		f.policy = remediate.SwapPolicy{}
+	default:
+		panic(fmt.Sprintf("fleet: unknown remediation policy %q", r.Policy))
+	}
 }
 
 // Lifecycle returns the machine-lifecycle ledger (nil when disabled).
 func (f *Fleet) Lifecycle() *lifecycle.Manager { return f.life }
 
-// lifeObserve is the manager's transition observer: it tallies the day's
-// counters for DayStats and mirrors them into the metrics registry. It
-// runs inside the manager's lock but only ever from the fleet's own
-// serial phases.
+// lifeObserve is the manager's record observer: it tallies the day's
+// counters for DayStats, mirrors them into the metrics registry, and
+// forwards every record to the configured notifier. It runs inside the
+// manager's lock but only ever from the fleet's own serial phases.
 func (f *Fleet) lifeObserve(t lifecycle.Transition) {
-	switch t.To {
-	case lifecycle.Cordoned.String():
-		f.lifePending.cordoned++
-	case lifecycle.Drained.String():
-		f.lifePending.drained++
-	case lifecycle.Removed.String():
-		f.lifePending.removed++
-	case lifecycle.Probation.String(), lifecycle.Healthy.String():
-		// Both count as "coming back toward service": repair completion
-		// lands in probation, releases and exonerations land in healthy.
-		f.lifePending.reintroduced++
+	switch t.Kind {
+	case lifecycle.KindDefer:
+		// A bookkeeping record, not a state transition: the To field names
+		// the parked verb, so it must not fall into the counter switch.
+		f.lifePending.deferred++
+	case lifecycle.KindUndefer:
+		if t.Reason == "admitted" {
+			f.lifePending.admitted++
+			// The ledger has already applied the parked verb; the cluster
+			// side completes in lifeEndOfDay, in admission order.
+			f.lifeAdmitted = append(f.lifeAdmitted, t.Machine)
+		}
+	case lifecycle.KindAssign:
+		// Setup-time membership; nothing to count.
+	default:
+		switch t.To {
+		case lifecycle.Cordoned.String():
+			f.lifePending.cordoned++
+		case lifecycle.Drained.String():
+			f.lifePending.drained++
+		case lifecycle.Removed.String():
+			f.lifePending.removed++
+		case lifecycle.Probation.String(), lifecycle.Healthy.String():
+			// Both count as "coming back toward service": repair completion
+			// lands in probation, releases and exonerations land in healthy.
+			f.lifePending.reintroduced++
+		}
+		if f.obs != nil {
+			f.obs.Counter("lifecycle_transitions_total", obs.L("to", t.To)).Inc()
+		}
 	}
-	if f.obs != nil {
-		f.obs.Counter("lifecycle_transitions_total", obs.L("to", t.To)).Inc()
+	if f.lifeNotify != nil {
+		f.lifeNotify.Notify(remediate.Event{
+			Seq: t.Seq, Day: t.Day, Machine: t.Machine,
+			From: t.From, To: t.To, Kind: t.Kind, Pool: t.Pool,
+			Score: t.Score, Reason: t.Reason, Actor: t.Actor,
+		})
 	}
 }
 
@@ -106,6 +183,9 @@ func (f *Fleet) lifeConvict(machine string, day int) bool {
 	if f.life == nil {
 		return false
 	}
+	// The conviction consumed the suspicion; replaced silicon starts a
+	// fresh retest budget.
+	delete(f.retests, machine)
 	st, _ := f.life.Drain(machine, day, "convicted mercurial core", "quarantine")
 	if st == lifecycle.Removed {
 		return true
@@ -140,7 +220,9 @@ func (f *Fleet) lifeCoreRepaired(machine string, day int) {
 
 // lifeEndOfDay releases machines whose probation window expired cleanly
 // (sorted order — the map must never leak iteration order into the
-// ledger) and flushes the day's transition counters into st.
+// ledger), completes the cluster side of drains the ledger admitted off
+// the deferred queue today, and flushes the day's transition counters
+// into st.
 func (f *Fleet) lifeEndOfDay(day int, st *DayStats) {
 	if f.life == nil {
 		return
@@ -162,9 +244,169 @@ func (f *Fleet) lifeEndOfDay(day int, st *DayStats) {
 			delete(f.probation, m)
 		}
 	}
+	f.completeAdmitted(day)
+	for _, ps := range f.life.Pools() {
+		if ps.Serving < ps.Floor {
+			f.lifeTotals.FloorBreaches++
+		}
+	}
+	if f.life.WALHealth() != nil {
+		f.lifeTotals.WALErrorDays++
+	}
 	st.LifeCordoned = f.lifePending.cordoned
 	st.LifeDrained = f.lifePending.drained
 	st.LifeRemoved = f.lifePending.removed
 	st.LifeReintroduced = f.lifePending.reintroduced
+	f.lifeTotals.Deferred += f.lifePending.deferred
+	f.lifeTotals.Admitted += f.lifePending.admitted
+	f.lifeTotals.Retests += f.lifePending.retests
+	f.lifeTotals.Swaps += f.lifePending.swaps
 	f.lifePending = lifeCounters{}
+}
+
+// LifeTotals returns the run's cumulative pool/remediation accounting
+// (all zero under the default configuration).
+func (f *Fleet) LifeTotals() LifeTotals { return f.lifeTotals }
+
+// completeAdmitted applies the cluster side of drains (and cordons) the
+// ledger admitted off the deferred queue today, in admission order. The
+// ledger transitions already happened inside the manager (cordoned, or
+// cordoned→draining→drained); here the simulator catches the cluster up:
+// evict tasks, stop workload and screening, and — for drains — schedule
+// the repair that eventually returns the capacity.
+func (f *Fleet) completeAdmitted(day int) {
+	admitted := f.lifeAdmitted
+	f.lifeAdmitted = nil
+	for _, id := range admitted {
+		rec, ok := f.life.State(id)
+		if !ok {
+			continue
+		}
+		m := f.machineByID(id)
+		if m == nil {
+			continue
+		}
+		switch rec.State {
+		case lifecycle.Cordoned:
+			// An admitted cordon intent: stop placements, keep running tasks.
+			f.cluster.Cordon(id)
+		case lifecycle.Drained, lifecycle.Removed:
+			if m.drained {
+				continue
+			}
+			f.cluster.Drain(id)
+			m.drained = true
+			f.server.Forget(id)
+			if rec.State == lifecycle.Removed {
+				// Admission tripped the recidivist escalation: the machine is
+				// permanently decommissioned — no repair ticket.
+				continue
+			}
+			if f.cfg.RepairAfterDays > 0 {
+				f.poolTicketConsume(id)
+				f.repairQueue = append(f.repairQueue, repairTicket{
+					machine: id, core: -1, dueDay: day + f.cfg.RepairAfterDays,
+				})
+			}
+		}
+	}
+}
+
+// poolTicketsFor reports the remaining repair-ticket budget of machine's
+// pool: -1 when unbudgeted (no pool, or no budget configured).
+func (f *Fleet) poolTicketsFor(machine string) int {
+	if f.poolTickets == nil || f.life == nil {
+		return -1
+	}
+	pool := f.life.PoolOf(machine)
+	if pool == "" {
+		return -1
+	}
+	n, ok := f.poolTickets[pool]
+	if !ok {
+		return -1
+	}
+	return n
+}
+
+// poolTicketConsume spends one repair ticket from machine's pool budget.
+func (f *Fleet) poolTicketConsume(machine string) {
+	if n := f.poolTicketsFor(machine); n > 0 {
+		f.poolTickets[f.life.PoolOf(machine)] = n - 1
+	}
+}
+
+// poolTicketRestore returns a repair ticket to machine's pool budget when
+// its whole-machine repair completes.
+func (f *Fleet) poolTicketRestore(machine string) {
+	if n := f.poolTicketsFor(machine); n >= 0 {
+		f.poolTickets[f.life.PoolOf(machine)] = n + 1
+	}
+}
+
+// remediateGate consults the remediation policy (and the pool's drain
+// budget) before a machine-drain conviction. It returns proceed=false
+// when the suspect should not be convicted today — retested in place, or
+// its drain deferred behind the pool floor — and swap=true when the
+// policy wants the silicon swapped from spares instead of repaired
+// through the ticket queue. Under the default policy with no pools it
+// always returns (true, false) without touching any state, keeping the
+// default path bit-identical.
+func (f *Fleet) remediateGate(machine string, score float64, day int) (proceed, swap bool) {
+	view := remediate.MachineView{
+		Machine:           machine,
+		Score:             score,
+		Retests:           f.retests[machine],
+		PoolRepairTickets: f.poolTicketsFor(machine),
+	}
+	if f.life != nil {
+		view.Pool = f.life.PoolOf(machine)
+		if rec, ok := f.life.State(machine); ok {
+			view.State = rec.State.String()
+			view.RepairCycles = rec.RepairCycles
+		}
+	}
+	act := f.policy.Decide(view)
+	switch act.Kind {
+	case remediate.ActRetest:
+		f.retests[machine]++
+		f.lifePending.retests++
+		return false, false
+	case remediate.ActNone:
+		return false, false
+	case remediate.ActSwap:
+		return true, true
+	}
+	// ActDrain: the pool budget has the last word. A deferred machine
+	// keeps serving; the durable intent admits itself (and the cluster
+	// side completes) once repaired capacity returns.
+	if f.life != nil && f.life.DrainWouldDefer(machine) {
+		f.life.DeferDrain(machine, day, "convicted mercurial core", "quarantine", score)
+		return false, false
+	}
+	return true, false
+}
+
+// completeSwap finishes a swap-policy conviction: the machine's defective
+// silicon is replaced from spares the same day — no repair-queue wait.
+// Mirrors the whole-machine branch of processRepairs.
+func (f *Fleet) completeSwap(machine string, day int, st *DayStats) {
+	m := f.machineByID(machine)
+	for _, idx := range sortedDefectiveCores(m) {
+		f.retireDefect(machine, idx)
+		ref := sched.CoreRef{Machine: machine, Core: idx}
+		if f.manager.Isolated(ref) {
+			f.traceRelease(ref, day)
+		}
+		f.manager.Release(ref)
+		f.traceRepair(machine, idx, day)
+	}
+	m.drained = false
+	if err := f.cluster.Undrain(machine); err == nil {
+		f.Repairs++
+		st.RepairsDone++
+		f.traceRepair(machine, -1, day)
+	}
+	f.lifeRepairComplete(machine, day)
+	f.lifePending.swaps++
 }

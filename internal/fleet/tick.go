@@ -499,6 +499,20 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 		if f.manager.Isolated(ref) {
 			continue
 		}
+		// Remediation-policy gate (machine-drain mode with the control
+		// plane on): the policy may retest the suspect in place instead of
+		// convicting it, swap silicon instead of queueing a repair, or the
+		// pool's drain budget may defer the conviction entirely. Confession
+		// streams were forked above for every suspect unconditionally, so
+		// skipping Handle here consumes no one else's randomness.
+		swapWanted := false
+		if f.policy != nil && f.cfg.Policy.Mode == quarantine.MachineDrain {
+			proceed, swap := f.remediateGate(s.Machine, s.Score(), f.day-1)
+			if !proceed {
+				continue
+			}
+			swapWanted = swap
+		}
 		j := &jobs[i]
 		rec, err := f.manager.Handle(s, now, func(cfg screen.Config) detect.Confession {
 			if j.fc == nil {
@@ -525,7 +539,12 @@ func (f *Fleet) processSuspects(now simtime.Time, dayRNG *xrand.RNG, st *DayStat
 			// A recidivist conviction escalates to permanent removal in the
 			// lifecycle ledger: the machine stays drained, no repair ticket.
 			permanent := f.lifeConvict(s.Machine, f.day-1)
-			if f.cfg.RepairAfterDays > 0 && !permanent {
+			if swapWanted && !permanent {
+				// Swap policy: replace the silicon from spares the same day
+				// instead of holding capacity through repair turnaround.
+				f.completeSwap(s.Machine, f.day-1, st)
+			} else if f.cfg.RepairAfterDays > 0 && !permanent {
+				f.poolTicketConsume(s.Machine)
 				f.repairQueue = append(f.repairQueue, repairTicket{
 					machine: s.Machine, core: -1,
 					dueDay: f.day - 1 + f.cfg.RepairAfterDays,
@@ -579,6 +598,7 @@ func (f *Fleet) processRepairs(day int, st *DayStats) {
 				f.traceRepair(tk.machine, -1, day)
 			}
 			f.lifeRepairComplete(tk.machine, day)
+			f.poolTicketRestore(tk.machine)
 			continue
 		}
 		f.retireDefect(tk.machine, tk.core)

@@ -1,0 +1,222 @@
+// WAL error-path tests driven through the chaos filesystem seam: every
+// injected disk fault must leave the manager honoring "not durable ⇒ not
+// applied", and a reopened log must replay exactly the acknowledged
+// prefix. External test package because internal/chaos imports lifecycle.
+package lifecycle_test
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/lifecycle"
+)
+
+// openChaos opens a WAL-backed manager whose disk is the chaos fs.
+func openChaos(t *testing.T) (*lifecycle.Manager, *chaos.FS, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lifecycle.wal")
+	fs := chaos.NewFS(nil)
+	m, _, err := lifecycle.Open(path, lifecycle.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, fs, path
+}
+
+// replayed reopens path on the real filesystem and returns the recovered
+// ledger and deferred queue.
+func replayed(t *testing.T, path string) ([]lifecycle.Record, []lifecycle.DeferredDrain) {
+	t.Helper()
+	m, _, err := lifecycle.Open(path, lifecycle.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m.Close()
+	return m.List(), m.DeferredDrains()
+}
+
+// requireAckedPrefix asserts the on-disk log replays to exactly the live
+// manager's acknowledged state.
+func requireAckedPrefix(t *testing.T, m *lifecycle.Manager, path string) {
+	t.Helper()
+	list, queue := replayed(t, path)
+	if !reflect.DeepEqual(list, m.List()) {
+		t.Fatalf("replayed ledger %+v != live %+v", list, m.List())
+	}
+	if !reflect.DeepEqual(queue, m.DeferredDrains()) {
+		t.Fatalf("replayed queue %+v != live %+v", queue, m.DeferredDrains())
+	}
+}
+
+func TestFailedWriteNotApplied(t *testing.T) {
+	m, fs, path := openChaos(t)
+	if _, err := m.Cordon("m1", 1, "cee", "op"); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.FailWrites(1)
+	if _, err := m.Drain("m2", 2, "maintenance", "op"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("faulted drain: err %v, want injected fault", err)
+	}
+	// The unacknowledged machine must not exist in the live ledger at all.
+	if _, ok := m.State("m2"); ok {
+		t.Fatal("machine from failed append lingers in the ledger")
+	}
+	if m.WALHealth() == nil {
+		t.Fatal("WALHealth should report the append failure")
+	}
+	if fs.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", fs.Injected())
+	}
+	requireAckedPrefix(t, m, path)
+
+	// The log recovers on the next clean append, and the error latch clears.
+	if _, err := m.Drain("m2", 3, "maintenance", "op"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WALHealth(); err != nil {
+		t.Fatalf("WALHealth after recovery = %v, want nil", err)
+	}
+	requireAckedPrefix(t, m, path)
+}
+
+func TestTornWriteRolledBack(t *testing.T) {
+	m, fs, path := openChaos(t)
+	if _, err := m.Drain("m1", 1, "x", "op"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn write leaves half a record in the file; Append's rollback
+	// must truncate it so the on-disk log is still exactly the acked prefix
+	// (no torn tail for recovery to even notice).
+	fs.TornWrites(1)
+	if _, err := m.Cordon("m2", 2, "cee", "op"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("torn cordon: err %v, want injected fault", err)
+	}
+	if _, ok := m.State("m2"); ok {
+		t.Fatal("torn-write machine lingers in the ledger")
+	}
+	requireAckedPrefix(t, m, path)
+
+	// Appends continue on the rolled-back file without seq gaps.
+	if _, err := m.Cordon("m2", 3, "cee", "op"); err != nil {
+		t.Fatal(err)
+	}
+	requireAckedPrefix(t, m, path)
+}
+
+func TestFailedSyncNotDurable(t *testing.T) {
+	m, fs, path := openChaos(t)
+	if _, err := m.Cordon("m1", 1, "cee", "op"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The write lands but the fsync fails: the bytes may be in the page
+	// cache, not the platter. The manager must not apply, and the rollback
+	// must scrub the file.
+	fs.FailSyncs(1)
+	if _, err := m.Drain("m1", 2, "cee", "op"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("unsynced drain: err %v, want injected fault", err)
+	}
+	if r, _ := m.State("m1"); r.State != lifecycle.Cordoned {
+		t.Fatalf("state after failed sync = %v, want cordoned (unchanged)", r.State)
+	}
+	requireAckedPrefix(t, m, path)
+}
+
+func TestENOSPCStickyUntilCleared(t *testing.T) {
+	m, fs, path := openChaos(t)
+	if _, err := m.Cordon("m1", 1, "cee", "op"); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.SetENOSPC(true)
+	for day := 2; day < 5; day++ {
+		if _, err := m.Drain("m1", day, "cee", "op"); !errors.Is(err, chaos.ErrInjected) {
+			t.Fatalf("day %d: err %v, want injected fault (disk still full)", day, err)
+		}
+		if m.WALHealth() == nil {
+			t.Fatalf("day %d: WALHealth should stay latched while the disk is full", day)
+		}
+	}
+	fs.SetENOSPC(false)
+	if st, err := m.Drain("m1", 5, "cee", "op"); err != nil || st != lifecycle.Draining {
+		t.Fatalf("drain after space freed: state %v err %v", st, err)
+	}
+	if err := m.WALHealth(); err != nil {
+		t.Fatalf("WALHealth after recovery = %v, want nil", err)
+	}
+	requireAckedPrefix(t, m, path)
+}
+
+func TestRollbackFailureBreaksLog(t *testing.T) {
+	m, fs, path := openChaos(t)
+	if _, err := m.Cordon("m1", 1, "cee", "op"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn write whose rollback truncate ALSO fails leaves bytes on disk
+	// that were never acknowledged. The log must go read-only rather than
+	// risk a later append stranding a mid-file torn record.
+	fs.TornWrites(1)
+	fs.FailTruncates(1)
+	if _, err := m.Drain("m1", 2, "cee", "op"); err == nil {
+		t.Fatal("expected append failure")
+	}
+	if _, err := m.Drain("m1", 3, "cee", "op"); err == nil {
+		t.Fatal("broken log must refuse further appends")
+	} else if !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("refusal error %q should mention the broken log", err)
+	}
+	if m.WALHealth() == nil {
+		t.Fatal("broken log must report unhealthy permanently")
+	}
+	// The live ledger still never applied anything unacknowledged...
+	if r, _ := m.State("m1"); r.State != lifecycle.Cordoned {
+		t.Fatalf("state = %v, want cordoned", r.State)
+	}
+	// ...and recovery tolerates the stranded half-record as a torn tail,
+	// replaying exactly the acked prefix.
+	re, info, err := lifecycle.Open(path, lifecycle.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if info.TornBytes == 0 {
+		t.Fatal("expected a torn tail from the failed rollback")
+	}
+	if !reflect.DeepEqual(re.List(), m.List()) {
+		t.Fatalf("replayed ledger %+v != live %+v", re.List(), m.List())
+	}
+}
+
+func TestDeferredIntentFaultNotApplied(t *testing.T) {
+	m, fs, path := openChaos(t)
+	m.DefinePool(lifecycle.PoolConfig{Name: "web", MinHealthyCount: 2})
+	for _, id := range []string{"m1", "m2"} {
+		if err := m.AssignPool(id, "web"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The defer record itself hits the fault: the intent must not be
+	// queued, because a crash now would forget it.
+	fs.FailWrites(1)
+	if _, err := m.Drain("m1", 1, "cee", "op"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("faulted defer: err %v, want injected fault", err)
+	}
+	if q := m.DeferredDrains(); len(q) != 0 {
+		t.Fatalf("queue after faulted defer = %+v, want empty", q)
+	}
+	requireAckedPrefix(t, m, path)
+
+	// Retried without the fault, the deferral lands durably.
+	if _, err := m.Drain("m1", 2, "cee", "op"); !errors.Is(err, lifecycle.ErrDeferred) {
+		t.Fatalf("retried drain: err %v, want ErrDeferred", err)
+	}
+	requireAckedPrefix(t, m, path)
+}

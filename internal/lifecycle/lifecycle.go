@@ -126,6 +126,8 @@ type Record struct {
 	Transitions int `json:"transitions"`
 	// LastReason is the reason attached to the most recent transition.
 	LastReason string `json:"last_reason,omitempty"`
+	// Pool is the machine's capacity pool ("" when unassigned).
+	Pool string `json:"pool,omitempty"`
 }
 
 // Options configures a Manager.
@@ -139,9 +141,14 @@ type Options struct {
 	MaxRepairs int
 	// Metrics, when set, counts transitions by target state.
 	Metrics *obs.Registry
-	// Observer, when set, sees every applied transition (after the WAL
-	// append, before the manager lock is released).
+	// Observer, when set, sees every applied WAL record — state
+	// transitions and the pool bookkeeping kinds — after the WAL append,
+	// before the manager lock is released. It must not call back into the
+	// manager.
 	Observer func(Transition)
+	// FS is the filesystem Open uses for the WAL; nil means the real
+	// filesystem. The chaos harness injects disk faults here.
+	FS FS
 }
 
 // Manager owns the lifecycle ledger.
@@ -149,7 +156,12 @@ type Manager struct {
 	mu       sync.Mutex
 	wal      *WAL
 	machines map[string]*Record
-	opts     Options
+	pools    map[string]PoolConfig
+	deferred map[string]*DeferredDrain
+	// intentSeq orders deferred intents for the equal-score tie-break; it
+	// advances identically on the live and replay paths.
+	intentSeq uint64
+	opts      Options
 }
 
 // NewManager returns a manager with an empty ledger (plus whatever opts.WAL
@@ -161,15 +173,23 @@ func NewManager(opts Options) *Manager {
 	return &Manager{
 		wal:      opts.WAL,
 		machines: map[string]*Record{},
+		pools:    map[string]PoolConfig{},
+		deferred: map[string]*DeferredDrain{},
 		opts:     opts,
 	}
 }
 
-// Open opens the WAL at path, replays its durable records into a fresh
-// ledger, and returns the manager plus recovery info. opts.WAL is ignored
-// (the opened log is used).
+// Open opens the WAL at path (on opts.FS, defaulting to the real
+// filesystem), replays its durable records into a fresh ledger, and
+// returns the manager plus recovery info. opts.WAL is ignored (the opened
+// log is used). Replay restores — never acts on — the deferred-drain
+// queue: admission resumes only when live traffic returns capacity.
 func Open(path string, opts Options) (*Manager, RecoverInfo, error) {
-	wal, recs, info, err := OpenWAL(path)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	wal, recs, info, err := OpenWALFS(fsys, path)
 	if err != nil {
 		return nil, info, err
 	}
@@ -210,6 +230,24 @@ func (m *Manager) record(machine string) *Record {
 // live path uses. A replay failure means the log's history is inconsistent
 // — surfaced, never skipped.
 func (m *Manager) replay(t Transition) error {
+	switch t.Kind {
+	case KindDefer:
+		if _, err := StateByName(t.To); err != nil {
+			return fmt.Errorf("lifecycle: replay seq %d: defer verb: %v", t.Seq, err)
+		}
+		m.applyDefer(t)
+		return nil
+	case KindUndefer:
+		m.applyUndefer(t)
+		return nil
+	case KindAssign:
+		m.applyAssign(t)
+		return nil
+	case "":
+		// Ordinary state transition, validated below.
+	default:
+		return fmt.Errorf("lifecycle: replay seq %d: unknown record kind %q", t.Seq, t.Kind)
+	}
 	from, err := StateByName(t.From)
 	if err != nil {
 		return fmt.Errorf("lifecycle: replay seq %d: %v", t.Seq, err)
@@ -285,11 +323,29 @@ func (m *Manager) transitionLocked(machine string, to State, day int, reason, ac
 		if t, err = m.wal.Append(t); err != nil {
 			// Not durable ⇒ not applied: the ledger and the log never
 			// disagree in the direction that loses a recorded transition.
+			// That includes the record itself — if this machine's entry was
+			// materialized only for the failed attempt, drop it so replay
+			// and the live ledger agree on which machines exist.
+			m.dropUntouchedLocked(machine)
 			return r.State, err
 		}
 	}
 	m.apply(r, to, t)
 	return to, nil
+}
+
+// dropUntouchedLocked removes machine's ledger entry if nothing durable
+// ever touched it: no applied transitions, no pool membership, no
+// deferred intent. Called after a failed WAL append so a machine the log
+// never heard of does not linger in List() as a phantom healthy record.
+func (m *Manager) dropUntouchedLocked(machine string) {
+	r, ok := m.machines[machine]
+	if !ok {
+		return
+	}
+	if r.Transitions == 0 && r.State == Healthy && r.Pool == "" && m.deferred[machine] == nil {
+		delete(m.machines, machine)
+	}
 }
 
 // MarkSuspect flags a healthy or probation machine as suspect. Any other
@@ -306,20 +362,63 @@ func (m *Manager) MarkSuspect(machine string, day int, reason string) (State, er
 
 // Cordon stops new work from landing on the machine. Healthy, suspect, and
 // probation machines may be cordoned; a machine past its repair budget is
-// escalated to Removed instead (see Options.MaxRepairs).
+// escalated to Removed instead (see Options.MaxRepairs). A cordon that
+// would push the machine's pool below its floor is deferred (ErrDeferred).
 func (m *Manager) Cordon(machine string, day int, reason, actor string) (State, error) {
-	return m.transition(machine, Cordoned, day, reason, actor)
+	return m.CordonScored(machine, day, reason, actor, 0)
+}
+
+// CordonScored is Cordon carrying a conviction score for deferred-queue
+// ordering should the pool floor block it.
+func (m *Manager) CordonScored(machine string, day int, reason, actor string, score float64) (State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.record(machine)
+	if r.State == Cordoned {
+		return r.State, nil
+	}
+	if m.wouldBreachLocked(machine) {
+		if err := m.deferLocked(machine, Cordoned, day, reason, actor, score); err != nil {
+			return r.State, err
+		}
+		return r.State, ErrDeferred
+	}
+	// A direct cordon supersedes any parked intent for the machine.
+	if m.deferred[machine] != nil {
+		if err := m.undeferLocked(machine, day, "superseded", actor); err != nil {
+			return r.State, err
+		}
+	}
+	return m.transitionLocked(machine, Cordoned, day, reason, actor)
 }
 
 // Drain starts workload migration off the machine, cordoning first if
 // needed. If the cordon escalates to removal, the machine is Removed and
-// no drain is recorded.
+// no drain is recorded. A drain that would push the machine's pool below
+// its floor is deferred (ErrDeferred).
 func (m *Manager) Drain(machine string, day int, reason, actor string) (State, error) {
+	return m.DrainScored(machine, day, reason, actor, 0)
+}
+
+// DrainScored is Drain carrying a conviction score for deferred-queue
+// ordering should the pool floor block it.
+func (m *Manager) DrainScored(machine string, day int, reason, actor string, score float64) (State, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := m.record(machine)
 	if r.State == Draining || r.State == Drained {
 		return r.State, nil
+	}
+	if m.wouldBreachLocked(machine) {
+		if err := m.deferLocked(machine, Draining, day, reason, actor, score); err != nil {
+			return r.State, err
+		}
+		return r.State, ErrDeferred
+	}
+	if m.deferred[machine] != nil {
+		if err := m.undeferLocked(machine, day, "superseded", actor); err != nil {
+			return r.State, err
+		}
 	}
 	if r.State == Healthy || r.State == Suspect || r.State == Probation {
 		st, err := m.transitionLocked(machine, Cordoned, day, reason, actor)
@@ -342,23 +441,30 @@ func (m *Manager) StartRepair(machine string, day int, actor string) (State, err
 
 // Reintroduce returns a machine toward service: a repairing machine enters
 // probation; suspect, cordoned, drained, and probation machines go
-// straight to healthy (release/exoneration).
+// straight to healthy (release/exoneration). Capacity returning to a pool
+// triggers a deferred-drain admission sweep.
 func (m *Manager) Reintroduce(machine string, day int, reason, actor string) (State, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := m.record(machine)
-	switch r.State {
-	case Repairing:
-		return m.transitionLocked(machine, Probation, day, reason, actor)
-	case Draining:
-		// Finish the drain, then release.
-		if _, err := m.transitionLocked(machine, Drained, day, reason, actor); err != nil {
-			return r.State, err
+	st, err := func() (State, error) {
+		switch r.State {
+		case Repairing:
+			return m.transitionLocked(machine, Probation, day, reason, actor)
+		case Draining:
+			// Finish the drain, then release.
+			if _, err := m.transitionLocked(machine, Drained, day, reason, actor); err != nil {
+				return r.State, err
+			}
+			return m.transitionLocked(machine, Healthy, day, reason, actor)
+		default:
+			return m.transitionLocked(machine, Healthy, day, reason, actor)
 		}
-		return m.transitionLocked(machine, Healthy, day, reason, actor)
-	default:
-		return m.transitionLocked(machine, Healthy, day, reason, actor)
+	}()
+	if err == nil && servingState(st) {
+		m.admitLocked(day)
 	}
+	return st, err
 }
 
 // Remove permanently removes the machine from service.
@@ -388,6 +494,34 @@ func (m *Manager) List() []Record {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
 	return out
+}
+
+// WALHealth returns the WAL's most recent append failure (nil when the
+// log is healthy or the ledger is memory-only) — the daemon's readiness
+// signal for "able to durably accept reports".
+func (m *Manager) WALHealth() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.Err()
+}
+
+// HasWAL reports whether the ledger is backed by a write-ahead log.
+func (m *Manager) HasWAL() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wal != nil
+}
+
+// SetObserver attaches (or replaces) the transition observer. The daemon
+// uses this to attach notification hooks after Open, so a replayed log
+// does not re-fire notifications for history.
+func (m *Manager) SetObserver(fn func(Transition)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.opts.Observer = fn
 }
 
 // CountByState tallies the ledger by state.

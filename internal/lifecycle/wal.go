@@ -28,16 +28,60 @@ import (
 	"os"
 )
 
-// Transition is one WAL record: machine m moved From → To on Day.
+// Record kinds. The zero kind is an ordinary state transition; the others
+// persist pool bookkeeping so drain intents and pool membership survive
+// crashes exactly like the ledger itself.
+const (
+	// KindDefer parks a capacity-blocked drain/cordon intent: To holds the
+	// intended target state, Pool and Score the queue position.
+	KindDefer = "defer"
+	// KindUndefer clears a machine's deferred intent (admitted, canceled,
+	// or stale); Reason says which.
+	KindUndefer = "undefer"
+	// KindAssign sets a machine's pool membership (Pool field).
+	KindAssign = "assign"
+)
+
+// Transition is one WAL record: machine m moved From → To on Day. Records
+// with a non-empty Kind are pool bookkeeping, not state transitions (see
+// the Kind constants); old logs without the extra fields replay unchanged.
 type Transition struct {
-	Seq     uint64 `json:"seq"`
-	Day     int    `json:"day"`
-	Machine string `json:"machine"`
-	From    string `json:"from"`
-	To      string `json:"to"`
-	Reason  string `json:"reason,omitempty"`
-	Actor   string `json:"actor,omitempty"`
+	Seq     uint64  `json:"seq"`
+	Day     int     `json:"day"`
+	Machine string  `json:"machine"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Reason  string  `json:"reason,omitempty"`
+	Actor   string  `json:"actor,omitempty"`
+	Kind    string  `json:"kind,omitempty"`
+	Pool    string  `json:"pool,omitempty"`
+	Score   float64 `json:"score,omitempty"`
 }
+
+// File is the slice of *os.File the WAL uses. The chaos harness swaps in
+// fault-injecting implementations; everything else gets the real file.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// FS opens WAL files. The default is the real filesystem (OSFS).
+type FS interface {
+	OpenFile(path string) (File, error)
+}
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+}
+
+// OSFS returns the real-filesystem FS used by OpenWAL.
+func OSFS() FS { return osFS{} }
 
 // castagnoli is the CRC-32C table (the polynomial storage systems use).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -54,9 +98,19 @@ type RecoverInfo struct {
 // serialized by the owning Manager; a WAL itself is not safe for
 // concurrent use.
 type WAL struct {
-	f    *os.File
+	f    File
 	path string
 	seq  uint64
+	// off is the byte offset of the durable prefix: everything before it
+	// is acknowledged, everything after it is rollback territory.
+	off int64
+	// lastErr is the most recent append failure, cleared by the next
+	// successful append — the /v1/readyz "WAL writability" signal.
+	lastErr error
+	// broken is set when a failed append could not be rolled back: the
+	// on-disk tail no longer matches the acknowledged prefix, so every
+	// further append must fail rather than risk mid-file corruption.
+	broken bool
 	// NoSync skips the per-record fsync — only tests (and callers that
 	// accept losing the OS buffer on power failure) should set it.
 	NoSync bool
@@ -176,10 +230,17 @@ func parseAnySeq(line []byte) (Transition, bool) {
 	return t, true
 }
 
-// OpenWAL opens (creating if absent) the log at path, replays its durable
-// records, truncates any torn tail, and positions the file for appends.
+// OpenWAL opens (creating if absent) the log at path on the real
+// filesystem, replays its durable records, truncates any torn tail, and
+// positions the file for appends.
 func OpenWAL(path string) (*WAL, []Transition, RecoverInfo, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(OSFS(), path)
+}
+
+// OpenWALFS is OpenWAL against an arbitrary filesystem — the seam the
+// chaos harness uses to inject disk faults under the log.
+func OpenWALFS(fsys FS, path string) (*WAL, []Transition, RecoverInfo, error) {
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, nil, RecoverInfo{}, err
 	}
@@ -204,30 +265,63 @@ func OpenWAL(path string) (*WAL, []Transition, RecoverInfo, error) {
 		f.Close()
 		return nil, nil, info, err
 	}
-	w := &WAL{f: f, path: path, seq: uint64(len(recs))}
+	w := &WAL{f: f, path: path, seq: uint64(len(recs)), off: int64(goodLen)}
 	return w, recs, info, nil
 }
 
 // Append assigns the next sequence number, writes the framed record, and
 // (unless NoSync) fsyncs. On any error the record must be considered not
-// durable and the caller must not apply the transition.
+// durable and the caller must not apply the transition; the partial bytes
+// are rolled back (truncated) so a later append cannot strand an
+// unacknowledged record mid-file. If the rollback itself fails the log is
+// marked broken and refuses all further appends.
 func (w *WAL) Append(t Transition) (Transition, error) {
+	if w.broken {
+		return t, fmt.Errorf("lifecycle: WAL broken by earlier unrecoverable append failure: %w", w.lastErr)
+	}
 	t.Seq = w.seq + 1
 	line, err := frame(t)
 	if err != nil {
 		return t, err
 	}
 	if _, err := w.f.Write(line); err != nil {
-		return t, fmt.Errorf("lifecycle: WAL append: %w", err)
+		return t, w.fail(fmt.Errorf("lifecycle: WAL append: %w", err))
 	}
 	if !w.NoSync {
 		if err := w.f.Sync(); err != nil {
-			return t, fmt.Errorf("lifecycle: WAL sync: %w", err)
+			// The bytes may be in the file but are not durable: roll them
+			// back so the on-disk log stays exactly the acknowledged prefix.
+			return t, w.fail(fmt.Errorf("lifecycle: WAL sync: %w", err))
 		}
 	}
 	w.seq = t.Seq
+	w.off += int64(len(line))
+	w.lastErr = nil
 	return t, nil
 }
+
+// fail records an append failure and rolls the file back to the durable
+// prefix. The returned error wraps cause (and the rollback failure, if
+// that also went wrong).
+func (w *WAL) fail(cause error) error {
+	w.lastErr = cause
+	if err := w.f.Truncate(w.off); err != nil {
+		w.broken = true
+		w.lastErr = fmt.Errorf("%w (rollback truncate failed: %v; log disabled)", cause, err)
+		return w.lastErr
+	}
+	if _, err := w.f.Seek(w.off, io.SeekStart); err != nil {
+		w.broken = true
+		w.lastErr = fmt.Errorf("%w (rollback seek failed: %v; log disabled)", cause, err)
+		return w.lastErr
+	}
+	return cause
+}
+
+// Err returns the most recent append failure (nil after a successful
+// append). A broken log — one whose rollback failed — reports its error
+// permanently.
+func (w *WAL) Err() error { return w.lastErr }
 
 // Seq returns the sequence number of the last durable record.
 func (w *WAL) Seq() uint64 { return w.seq }

@@ -1,0 +1,148 @@
+// Package remediate holds the pluggable remediation policies and operator
+// notification hooks of the control plane. The paper's fixed loop —
+// cordon → drain → repair → probation — is one Policy among several: an
+// escalating policy retests low-score suspects in place before spending a
+// drain on them (the §5 "quarantine vs. immediate repair" tradeoff), and
+// a swap policy trades repair-queue latency for spare silicon once a
+// pool's repair-ticket budget is exhausted.
+//
+// Policies are pure decision functions over a MachineView snapshot: they
+// hold no state and consume no randomness, so a policy-driven fleet keeps
+// the simulator's bit-identical-at-any-parallelism contract. The caller
+// (the fleet's serial suspect phase, or a daemon) owns the counters the
+// view reports.
+package remediate
+
+import "fmt"
+
+// MachineView is the snapshot a Policy decides on.
+type MachineView struct {
+	// Machine is the suspect machine's id.
+	Machine string
+	// State is the machine's lifecycle state name ("healthy", "suspect", …).
+	State string
+	// Pool is the machine's capacity pool ("" when unassigned).
+	Pool string
+	// Score is the conviction score of the machine's strongest suspect
+	// core (higher = more evidence).
+	Score float64
+	// RepairCycles counts the machine's completed repair loops.
+	RepairCycles int
+	// Retests counts in-place retests already spent on this suspicion.
+	Retests int
+	// PoolRepairTickets is the pool's remaining repair-ticket budget
+	// (negative means unbudgeted).
+	PoolRepairTickets int
+}
+
+// ActionKind is what the policy wants done with a convictable suspect.
+type ActionKind int
+
+const (
+	// ActDrain follows the paper's loop: cordon, drain, queue for repair.
+	ActDrain ActionKind = iota
+	// ActRetest leaves the machine serving and spends another in-place
+	// retest on it; the decision repeats when it is nominated again.
+	ActRetest
+	// ActSwap drains and immediately replaces the silicon from spares —
+	// no repair-queue wait, no capacity lost beyond the day.
+	ActSwap
+	// ActNone takes no action on this nomination.
+	ActNone
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActDrain:
+		return "drain"
+	case ActRetest:
+		return "retest"
+	case ActSwap:
+		return "swap"
+	case ActNone:
+		return "none"
+	}
+	return fmt.Sprintf("ActionKind(%d)", int(k))
+}
+
+// Action is a policy decision with its audit-trail reason.
+type Action struct {
+	Kind   ActionKind
+	Reason string
+}
+
+// Policy decides what remediation a nominated suspect machine gets.
+// Implementations must be pure: same view, same answer.
+type Policy interface {
+	Name() string
+	Decide(MachineView) Action
+}
+
+// DefaultPolicy reproduces the fixed paper loop bit-for-bit: every
+// convictable suspect is drained.
+type DefaultPolicy struct{}
+
+func (DefaultPolicy) Name() string { return "default" }
+
+func (DefaultPolicy) Decide(MachineView) Action {
+	return Action{Kind: ActDrain, Reason: "default remediation loop"}
+}
+
+// EscalatingPolicy retests low-score suspects in place before draining
+// them: weak evidence buys MaxRetests more days of serving (and signal
+// accumulation) before the machine is convicted. Strong evidence drains
+// immediately.
+type EscalatingPolicy struct {
+	// ScoreThreshold is the score at or above which a suspect drains
+	// without retesting. 0 means 6 (roughly two concentrated signals
+	// beyond nomination).
+	ScoreThreshold float64
+	// MaxRetests bounds the in-place retests per suspicion. 0 means 2.
+	MaxRetests int
+}
+
+func (EscalatingPolicy) Name() string { return "escalating" }
+
+func (p EscalatingPolicy) Decide(v MachineView) Action {
+	threshold := p.ScoreThreshold
+	if threshold <= 0 {
+		threshold = 6
+	}
+	max := p.MaxRetests
+	if max <= 0 {
+		max = 2
+	}
+	if v.Score < threshold && v.Retests < max {
+		return Action{Kind: ActRetest,
+			Reason: fmt.Sprintf("score %.2f below %.2f: retest %d/%d in place", v.Score, threshold, v.Retests+1, max)}
+	}
+	return Action{Kind: ActDrain, Reason: "escalation exhausted"}
+}
+
+// SwapPolicy spends the pool's repair-ticket budget first and swaps in
+// spare silicon once it runs out: a pool with a saturated repair queue
+// stops losing capacity to RMA turnaround.
+type SwapPolicy struct{}
+
+func (SwapPolicy) Name() string { return "swap" }
+
+func (SwapPolicy) Decide(v MachineView) Action {
+	if v.PoolRepairTickets == 0 {
+		return Action{Kind: ActSwap, Reason: "pool repair-ticket budget exhausted"}
+	}
+	return Action{Kind: ActDrain, Reason: "repair ticket available"}
+}
+
+// ByName resolves a configured policy name; "" and "default" mean the
+// paper loop.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "", "default":
+		return DefaultPolicy{}, nil
+	case "escalating":
+		return EscalatingPolicy{}, nil
+	case "swap":
+		return SwapPolicy{}, nil
+	}
+	return nil, fmt.Errorf("remediate: unknown policy %q (want default, escalating, or swap)", name)
+}

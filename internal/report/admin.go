@@ -10,6 +10,7 @@ package report
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 
 	"repro/internal/lifecycle"
@@ -19,10 +20,14 @@ import (
 type MachineJSON struct {
 	Machine      string `json:"machine"`
 	State        string `json:"state"`
+	Pool         string `json:"pool,omitempty"`
 	SinceDay     int    `json:"since_day"`
 	RepairCycles int    `json:"repair_cycles"`
 	Transitions  int    `json:"transitions"`
 	LastReason   string `json:"last_reason,omitempty"`
+	// Deferred is set on a 202 answer: the verb was accepted but queued
+	// behind the pool's capacity floor rather than applied.
+	Deferred bool `json:"deferred,omitempty"`
 }
 
 // ActionRequest is the optional body for POST /v1/machines/{id}/{verb}.
@@ -30,6 +35,17 @@ type ActionRequest struct {
 	Reason string `json:"reason,omitempty"`
 	Actor  string `json:"actor,omitempty"`
 	Day    int    `json:"day,omitempty"`
+	// Pool names the target pool for the assign verb.
+	Pool string `json:"pool,omitempty"`
+	// Score orders a deferred drain in the admission queue (higher first).
+	Score float64 `json:"score,omitempty"`
+}
+
+// PoolsJSON is the GET /v1/pools response body: per-pool capacity
+// accounting plus the deferred-drain queue in admission order.
+type PoolsJSON struct {
+	Pools    []lifecycle.PoolStatus    `json:"pools"`
+	Deferred []lifecycle.DeferredDrain `json:"deferred"`
 }
 
 // SetLifecycle attaches the machine-lifecycle control plane, enabling
@@ -44,12 +60,14 @@ func (s *Server) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/machines", s.handleMachineList)
 	mux.HandleFunc("GET /v1/machines/{id}", s.handleMachineGet)
 	mux.HandleFunc("POST /v1/machines/{id}/{verb}", s.handleMachineVerb)
+	mux.HandleFunc("GET /v1/pools", s.handlePools)
 }
 
 func machineJSON(r lifecycle.Record) MachineJSON {
 	return MachineJSON{
 		Machine:      r.Machine,
 		State:        r.State.String(),
+		Pool:         r.Pool,
 		SinceDay:     r.SinceDay,
 		RepairCycles: r.RepairCycles,
 		Transitions:  r.Transitions,
@@ -57,8 +75,9 @@ func machineJSON(r lifecycle.Record) MachineJSON {
 	}
 }
 
-// handleMachineList is GET /v1/machines[?state=cordoned]: the full
-// ledger, sorted by machine id, optionally filtered by state.
+// handleMachineList is GET /v1/machines[?state=cordoned][&pool=web]: the
+// full ledger, sorted by machine id, optionally filtered by state and
+// pool membership.
 func (s *Server) handleMachineList(w http.ResponseWriter, r *http.Request) {
 	want := r.URL.Query().Get("state")
 	if want != "" {
@@ -67,14 +86,27 @@ func (s *Server) handleMachineList(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	pool := r.URL.Query().Get("pool")
 	out := []MachineJSON{}
 	for _, rec := range s.life.List() {
 		if want != "" && rec.State.String() != want {
 			continue
 		}
+		if pool != "" && rec.Pool != pool {
+			continue
+		}
 		out = append(out, machineJSON(rec))
 	}
 	writeJSON(w, out)
+}
+
+// handlePools is GET /v1/pools: capacity accounting per pool and the
+// deferred-drain queue in admission order.
+func (s *Server) handlePools(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, PoolsJSON{
+		Pools:    s.life.Pools(),
+		Deferred: s.life.DeferredDrains(),
+	})
 }
 
 func (s *Server) handleMachineGet(w http.ResponseWriter, r *http.Request) {
@@ -105,12 +137,12 @@ func (s *Server) handleMachineVerb(w http.ResponseWriter, r *http.Request) {
 	var err error
 	switch verb {
 	case "cordon":
-		_, err = s.life.Cordon(id, req.Day, req.Reason, req.Actor)
+		_, err = s.life.CordonScored(id, req.Day, req.Reason, req.Actor, req.Score)
 	case "drain":
 		// The daemon has no workload scheduler to wait on, so a drain
 		// completes immediately: cordon+draining, then drained.
 		var st lifecycle.State
-		st, err = s.life.Drain(id, req.Day, req.Reason, req.Actor)
+		st, err = s.life.DrainScored(id, req.Day, req.Reason, req.Actor, req.Score)
 		if err == nil && st == lifecycle.Draining {
 			_, err = s.life.MarkDrained(id, req.Day, req.Actor)
 		}
@@ -120,8 +152,24 @@ func (s *Server) handleMachineVerb(w http.ResponseWriter, r *http.Request) {
 		_, err = s.life.Reintroduce(id, req.Day, req.Reason, req.Actor)
 	case "remove":
 		_, err = s.life.Remove(id, req.Day, req.Reason, req.Actor)
+	case "assign":
+		if req.Pool == "" {
+			writeError(w, http.StatusBadRequest, "assign requires a pool")
+			return
+		}
+		err = s.life.AssignPool(id, req.Pool)
 	default:
 		writeError(w, http.StatusNotFound, "unknown verb %q", verb)
+		return
+	}
+	if errors.Is(err, lifecycle.ErrDeferred) {
+		// The verb was accepted but queued: applying it now would drop the
+		// pool below its capacity floor. The intent is WAL-durable and
+		// admits itself as repaired capacity returns.
+		rec, _ := s.life.State(id)
+		mj := machineJSON(rec)
+		mj.Deferred = true
+		writeJSONStatus(w, http.StatusAccepted, mj)
 		return
 	}
 	if err != nil {

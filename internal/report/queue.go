@@ -142,8 +142,8 @@ type ingestQueue struct {
 	capacity int // in signals
 	depth    int // queued signals
 	buf      []queuedBatch
-	base     uint64               // absolute index of buf[0]
-	index    map[batchKey]uint64  // absolute position of each tracked queued batch
+	base     uint64              // absolute index of buf[0]
+	index    map[batchKey]uint64 // absolute position of each tracked queued batch
 	closed   bool
 	done     chan struct{}
 }
@@ -263,6 +263,15 @@ func (s *Server) Close() {
 	if s.queue != nil {
 		s.queue.close()
 	}
+}
+
+// QueueCapacity returns the queue's capacity in signals (0 without a
+// queue). Capacity is fixed at EnableQueue time.
+func (s *Server) QueueCapacity() int {
+	if s.queue == nil {
+		return 0
+	}
+	return s.queue.capacity
 }
 
 // retryAfterSec is the Retry-After hint attached to shed responses.

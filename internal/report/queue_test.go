@@ -442,15 +442,15 @@ func TestAdminAPI(t *testing.T) {
 		t.Fatalf("want 409 in error, got %v", err)
 	}
 
-	all, err := c.Machines(ctx, "")
+	all, err := c.Machines(ctx, "", "")
 	if err != nil || len(all) != 2 {
 		t.Fatalf("machines: %+v %v", all, err)
 	}
-	cordoned, err := c.Machines(ctx, "cordoned")
+	cordoned, err := c.Machines(ctx, "cordoned", "")
 	if err != nil || len(cordoned) != 1 || cordoned[0].Machine != "m00009" {
 		t.Fatalf("filtered machines: %+v %v", cordoned, err)
 	}
-	if _, err := c.Machines(ctx, "bogus"); err == nil {
+	if _, err := c.Machines(ctx, "bogus", ""); err == nil {
 		t.Fatal("bogus state filter must 400")
 	}
 	one, err := c.Machine(ctx, "m00009")

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,31 @@ type ErrorJSON struct {
 // HealthJSON is the /v1/healthz response body.
 type HealthJSON struct {
 	Status string `json:"status"`
+}
+
+// ReadyJSON is the /v1/readyz response body. Liveness (healthz) answers
+// "is the process up"; readiness answers "can it durably accept work":
+// a daemon whose WAL is failing appends, or whose ingest queue is full
+// and shedding, is alive but not ready.
+type ReadyJSON struct {
+	Status string     `json:"status"` // "ok" or "degraded"
+	WAL    ReadyWAL   `json:"wal"`
+	Queue  ReadyQueue `json:"queue"`
+}
+
+// ReadyWAL is the WAL-writability leg of the readiness answer.
+type ReadyWAL struct {
+	Enabled bool   `json:"enabled"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ReadyQueue is the ingest-queue-saturation leg of the readiness answer.
+type ReadyQueue struct {
+	Enabled   bool `json:"enabled"`
+	Depth     int  `json:"depth"`
+	Capacity  int  `json:"capacity"`
+	Saturated bool `json:"saturated"`
 }
 
 // kindFromString maps wire kinds to detect.SignalKind. Unknown kinds map
@@ -159,6 +185,8 @@ func (s *Server) rejected(reason string) {
 //	GET  /v1/suspects — list nominated suspects
 //	GET  /v1/stats    — service statistics
 //	GET  /v1/healthz  — liveness probe, {"status":"ok"}
+//	GET  /v1/readyz   — readiness probe: WAL writability and ingest-queue
+//	     saturation; 503 with JSON detail when degraded
 //	GET  /v1/metrics  — Prometheus text exposition of the service metrics
 //	     /v1/machines — lifecycle admin API (only when SetLifecycle was
 //	                    called; see admin.go)
@@ -173,6 +201,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/suspects", s.handleSuspects)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	if s.life != nil {
 		s.registerAdmin(mux)
@@ -193,6 +222,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, HealthJSON{Status: "ok"})
+}
+
+// handleReadyz is GET /v1/readyz: 200 when the daemon can durably accept
+// reports, 503 with the failing detail otherwise. Distinct from healthz —
+// a load balancer should stop routing to a daemon whose WAL append path
+// is broken even though the process itself is fine.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	ready := ReadyJSON{Status: "ok"}
+	if s.life != nil && s.life.HasWAL() {
+		ready.WAL.Enabled = true
+		if err := s.life.WALHealth(); err != nil {
+			ready.WAL.Error = err.Error()
+		} else {
+			ready.WAL.Healthy = true
+		}
+	}
+	if cap := s.QueueCapacity(); cap > 0 {
+		ready.Queue.Enabled = true
+		ready.Queue.Capacity = cap
+		ready.Queue.Depth = s.QueueDepth()
+		ready.Queue.Saturated = ready.Queue.Depth >= cap
+	}
+	if (ready.WAL.Enabled && !ready.WAL.Healthy) || ready.Queue.Saturated {
+		ready.Status = "degraded"
+		writeJSONStatus(w, http.StatusServiceUnavailable, ready)
+		return
+	}
+	writeJSON(w, ready)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -384,6 +445,9 @@ const (
 	defaultMaxAttempts   = 3
 	defaultRetryBackoff  = 50 * time.Millisecond
 	defaultMaxRetryAfter = 5 * time.Second
+	// maxRetryBackoff caps the exponential retry delay: past this point
+	// more waiting is just unavailability, not politeness.
+	maxRetryBackoff = 30 * time.Second
 )
 
 // defaultHTTPClient bounds every call a zero-value Client makes. The old
@@ -468,6 +532,24 @@ func (c *Client) wait(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// backoffDelay returns base doubled once per completed retry, clamped at
+// max. The doubling is stepwise with an overflow check — the old
+// `backoff << (attempt-1)` overflowed time.Duration (going negative, i.e.
+// no wait at all) once a large MaxAttempts pushed the shift past 63 bits.
+func backoffDelay(base, max time.Duration, retry int) time.Duration {
+	d := base
+	for i := 0; i < retry && d < max; i++ {
+		d <<= 1
+		if d <= 0 { // overflowed
+			return max
+		}
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
 // retryableStatus reports whether status is explicit server backpressure
 // worth retrying (the request may not have been acted on).
 func retryableStatus(status int) bool {
@@ -511,7 +593,7 @@ func (c *Client) do(ctx context.Context, send func(context.Context) (*http.Respo
 	)
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			d := backoff << (attempt - 1)
+			d := backoffDelay(backoff, maxRetryBackoff, attempt-1)
 			// Full jitter on the top half de-synchronizes a fleet of
 			// reporters hammering a recovering server.
 			d = d/2 + c.jitterDelay(d/2)
@@ -675,11 +757,19 @@ func (c *Client) MetricsContext(ctx context.Context) (string, error) {
 	return string(b), err
 }
 
-// Machines fetches the lifecycle ledger from the admin API.
-func (c *Client) Machines(ctx context.Context, state string) ([]MachineJSON, error) {
-	path := "/v1/machines"
+// Machines fetches the lifecycle ledger from the admin API, optionally
+// filtered by state and/or pool (empty strings mean no filter).
+func (c *Client) Machines(ctx context.Context, state, pool string) ([]MachineJSON, error) {
+	q := url.Values{}
 	if state != "" {
-		path += "?state=" + state
+		q.Set("state", state)
+	}
+	if pool != "" {
+		q.Set("pool", pool)
+	}
+	path := "/v1/machines"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
 	}
 	resp, err := c.get(ctx, path)
 	if err != nil {
@@ -710,7 +800,9 @@ func (c *Client) Machine(ctx context.Context, id string) (MachineJSON, error) {
 }
 
 // MachineAction invokes one lifecycle verb (cordon, drain, repair,
-// release, remove) on a machine and returns the updated record.
+// release, remove, assign) on a machine and returns the updated record.
+// A 202 answer (verb deferred behind a pool floor) is success; the
+// returned record has Deferred set.
 func (c *Client) MachineAction(ctx context.Context, id, verb string, req ActionRequest) (MachineJSON, error) {
 	var out MachineJSON
 	body, err := json.Marshal(req)
@@ -722,11 +814,49 @@ func (c *Client) MachineAction(ctx context.Context, id, verb string, req ActionR
 		return out, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
 		return out, fmt.Errorf("%s %s: server returned %s", verb, id, apiError(resp))
 	}
 	err = json.NewDecoder(resp.Body).Decode(&out)
 	return out, err
+}
+
+// Pools fetches per-pool capacity accounting and the deferred-drain
+// queue from the admin API.
+func (c *Client) Pools(ctx context.Context) (PoolsJSON, error) {
+	var out PoolsJSON
+	resp, err := c.get(ctx, "/v1/pools")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("pools: server returned %s", apiError(resp))
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Readyz probes /v1/readyz once, without retry — a readiness probe that
+// retried its own 503s would defeat its purpose. The parsed body comes
+// back for both 200 and 503; ready reports which it was.
+func (c *Client) Readyz(ctx context.Context) (out ReadyJSON, ready bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/readyz", nil)
+	if err != nil {
+		return out, false, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return out, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return out, false, fmt.Errorf("readyz: server returned %s", apiError(resp))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, false, err
+	}
+	return out, resp.StatusCode == http.StatusOK, nil
 }
 
 // apiError renders a non-2xx response for error messages, folding in the

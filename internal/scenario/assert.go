@@ -142,6 +142,20 @@ var quantities = map[string]func(*Result) float64{
 	"life_drained":      func(r *Result) float64 { return float64(r.totals.LifeDrained) },
 	"life_removed":      func(r *Result) float64 { return float64(r.totals.LifeRemoved) },
 	"life_reintroduced": func(r *Result) float64 { return float64(r.totals.LifeReintroduced) },
+	// Pools, remediation policies, and the deferred-drain queue
+	// (fleet.LifeTotals; zero without fleet.lifecycle.pools / policy).
+	"life_deferred":       func(r *Result) float64 { return float64(r.LifeTotals.Deferred) },
+	"life_admitted":       func(r *Result) float64 { return float64(r.LifeTotals.Admitted) },
+	"life_retests":        func(r *Result) float64 { return float64(r.LifeTotals.Retests) },
+	"life_swaps":          func(r *Result) float64 { return float64(r.LifeTotals.Swaps) },
+	"pool_floor_breaches": func(r *Result) float64 { return float64(r.LifeTotals.FloorBreaches) },
+	"wal_error_days":      func(r *Result) float64 { return float64(r.LifeTotals.WALErrorDays) },
+	// Chaos harness counters (zero unless the scenario arms faults).
+	"wal_faults":       func(r *Result) float64 { return float64(r.Chaos.WALFaults) },
+	"net_faults":       func(r *Result) float64 { return float64(r.Chaos.NetFaults) },
+	"notify_delivered": func(r *Result) float64 { return float64(r.Chaos.NotifyDelivered) },
+	"notify_failed":    func(r *Result) float64 { return float64(r.Chaos.NotifyFailed) },
+	"notify_dropped":   func(r *Result) float64 { return float64(r.Chaos.NotifyDropped) },
 }
 
 // QuantityNames returns the assertable quantity vocabulary, sorted.

@@ -9,13 +9,22 @@ package scenario
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/lifecycle"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/quarantine"
+	"repro/internal/remediate"
 	"repro/internal/screen"
 	"repro/internal/simtime"
 )
@@ -132,6 +141,28 @@ func (s *Scenario) Compile() (fleet.Config, error) {
 		if fd.Lifecycle.ProbationDays != nil {
 			cfg.Lifecycle.ProbationDays = *fd.Lifecycle.ProbationDays
 		}
+		for _, p := range fd.Lifecycle.Pools {
+			pc := lifecycle.PoolConfig{Name: p.Name}
+			if p.MinHealthy != nil {
+				pc.MinHealthy = *p.MinHealthy
+			}
+			if p.MinHealthyCount != nil {
+				pc.MinHealthyCount = *p.MinHealthyCount
+			}
+			cfg.Lifecycle.Pools = append(cfg.Lifecycle.Pools, pc)
+		}
+		cfg.Remediate.Policy = fd.Lifecycle.Policy
+		if fd.Lifecycle.ScoreThreshold != nil {
+			cfg.Remediate.ScoreThreshold = *fd.Lifecycle.ScoreThreshold
+		}
+		if fd.Lifecycle.MaxRetests != nil {
+			cfg.Remediate.MaxRetests = *fd.Lifecycle.MaxRetests
+		}
+		if fd.Lifecycle.RepairTicketsPerPool != nil {
+			cfg.Remediate.RepairTicketsPerPool = *fd.Lifecycle.RepairTicketsPerPool
+		}
+		// WAL and Notify are run-scoped resources (temp file, collector
+		// server); Run materializes them after Compile.
 	}
 	if s.Workloads.KVDB != nil {
 		cfg.KVDB = kvConfig(s.Workloads.KVDB)
@@ -230,8 +261,134 @@ type Result struct {
 	Lifecycle []lifecycle.Record
 	// Snapshot is the metrics registry at end of run, sorted.
 	Snapshot []obs.SeriesSnapshot
+	// LifeTotals is the run's cumulative pools/remediation counters
+	// (zero-valued when the control plane is off).
+	LifeTotals fleet.LifeTotals
+	// Chaos summarizes injected infrastructure faults and notification
+	// delivery.
+	Chaos ChaosStats
+	// WALReplay describes the end-of-run replay-equality check (zero when
+	// the scenario does not persist a WAL).
+	WALReplay lifecycle.RecoverInfo
 	// Fleet is the underlying simulator, for further inspection.
 	Fleet *fleet.Fleet
+}
+
+// ChaosStats counts what the chaos harness did to the run.
+type ChaosStats struct {
+	// WALFaults is how many injected filesystem faults fired under the
+	// lifecycle WAL.
+	WALFaults int
+	// NetFaults is how many injected transport faults fired under the
+	// webhook notifier.
+	NetFaults int
+	// NotifyDelivered / NotifyFailed / NotifyDropped are the webhook
+	// notifier's delivery ledger (zero for notify: log).
+	NotifyDelivered, NotifyFailed, NotifyDropped int
+}
+
+// runEnv holds the chaos handles a running scenario arms through
+// inject_wal_fault / inject_network_fault events, plus the notifier
+// plumbing torn down at end of run.
+type runEnv struct {
+	fs        *chaos.FS
+	transport *chaos.Transport
+	webhook   *remediate.WebhookNotifier
+	async     *remediate.Async
+	walPath   string
+	collector *httptest.Server
+}
+
+// build materializes the run-scoped lifecycle infrastructure (temp WAL
+// behind the chaos fs, notifier, webhook collector) onto cfg. The
+// returned cleanup is safe to call exactly once, after the run.
+func (e *runEnv) build(lc *LifecycleDef, cfg *fleet.Config) (cleanup func(), err error) {
+	var undo []func()
+	cleanup = func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
+	}
+	if lc == nil || !lc.Enabled {
+		return cleanup, nil
+	}
+	if lc.WAL {
+		dir, err := os.MkdirTemp("", "scenario-wal-")
+		if err != nil {
+			return cleanup, err
+		}
+		undo = append(undo, func() { os.RemoveAll(dir) })
+		e.fs = chaos.NewFS(nil)
+		e.walPath = filepath.Join(dir, "lifecycle.wal")
+		cfg.Lifecycle.WALPath = e.walPath
+		cfg.Lifecycle.FS = e.fs
+	}
+	switch lc.Notify {
+	case "log":
+		cfg.Lifecycle.Notifier = remediate.NewLogNotifier(io.Discard)
+	case "webhook":
+		e.collector = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			w.WriteHeader(http.StatusOK)
+		}))
+		undo = append(undo, e.collector.Close)
+		e.transport = chaos.NewTransport(nil)
+		e.transport.SetDelay(time.Millisecond)
+		e.webhook = &remediate.WebhookNotifier{
+			URL:     e.collector.URL,
+			Client:  &http.Client{Transport: e.transport, Timeout: 5 * time.Second},
+			Backoff: time.Millisecond,
+		}
+		e.async = remediate.NewAsync(e.webhook, 0)
+		cfg.Lifecycle.Notifier = e.async
+	}
+	return cleanup, nil
+}
+
+// finish drains the notifier and collects the chaos counters. Called
+// after the last Step, before assertions read the result.
+func (e *runEnv) finish(res *Result) {
+	if e.async != nil {
+		e.async.Close()
+		res.Chaos.NotifyDropped = e.async.Dropped()
+	}
+	if e.webhook != nil {
+		res.Chaos.NotifyDelivered = e.webhook.Delivered()
+		res.Chaos.NotifyFailed = e.webhook.Failed()
+	}
+	if e.fs != nil {
+		res.Chaos.WALFaults = e.fs.Injected()
+	}
+	if e.transport != nil {
+		for _, n := range e.transport.Fired() {
+			res.Chaos.NetFaults += n
+		}
+	}
+}
+
+// checkWALReplay reopens the run's WAL on the real filesystem and
+// requires the replayed ledger and deferred-drain queue to equal the live
+// ones — the "replay equals acked prefix" invariant, checked implicitly
+// on every wal: true scenario even when faults tore the on-disk tail.
+func (e *runEnv) checkWALReplay(f *fleet.Fleet) (lifecycle.RecoverInfo, error) {
+	if e.fs == nil {
+		return lifecycle.RecoverInfo{}, nil
+	}
+	live := f.Lifecycle()
+	m, info, err := lifecycle.Open(e.walPath, lifecycle.Options{})
+	if err != nil {
+		return info, fmt.Errorf("wal replay: %v", err)
+	}
+	defer m.Close()
+	if replayed := m.List(); !reflect.DeepEqual(replayed, live.List()) {
+		return info, fmt.Errorf("wal replay mismatch: %d replayed ledger records vs %d live (durable prefix diverged from acked ledger)",
+			len(replayed), len(live.List()))
+	}
+	if replayed := m.DeferredDrains(); !reflect.DeepEqual(replayed, live.DeferredDrains()) {
+		return info, fmt.Errorf("wal replay mismatch: %d replayed deferred drains vs %d live",
+			len(replayed), len(live.DeferredDrains()))
+	}
+	return info, nil
 }
 
 // Totals returns the run's summed daily counters.
@@ -242,6 +399,14 @@ func (r *Result) Totals() fleet.DayStats { return r.totals }
 // run's state.
 func (s *Scenario) Run(opts Options) (*Result, error) {
 	cfg, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	env := &runEnv{}
+	cleanup, err := env.build(s.Fleet.Lifecycle, &cfg)
+	if cleanup != nil {
+		defer cleanup()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +440,7 @@ func (s *Scenario) Run(opts Options) (*Result, error) {
 		for next < len(evs) && evs[next].Day == day {
 			ev := evs[next]
 			next++
-			if err := applyEvent(f, ev); err != nil {
+			if err := applyEvent(f, ev, env); err != nil {
 				return nil, fmt.Errorf("%s:%d: %s on day %d: %v", s.File, ev.Line, ev.Kind, day, err)
 			}
 		}
@@ -283,6 +448,7 @@ func (s *Scenario) Run(opts Options) (*Result, error) {
 		res.Days = append(res.Days, st)
 		addTotals(&res.totals, st)
 	}
+	env.finish(res)
 	res.Detection = metrics.Detection(f, s.Days)
 	res.Triage = f.Triage
 	res.Records = f.Manager().Records()
@@ -290,12 +456,18 @@ func (s *Scenario) Run(opts Options) (*Result, error) {
 		res.Lifecycle = lm.List()
 	}
 	res.Snapshot = reg.Snapshot()
+	res.LifeTotals = f.LifeTotals()
 	res.Fleet = f
+	info, err := env.checkWALReplay(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", s.File, err)
+	}
+	res.WALReplay = info
 	return res, nil
 }
 
 // applyEvent dispatches one timed action onto the fleet's serial hooks.
-func applyEvent(f *fleet.Fleet, ev Event) error {
+func applyEvent(f *fleet.Fleet, ev Event, env *runEnv) error {
 	switch ev.Kind {
 	case EvInjectDefect:
 		return applyInject(f, ev.Inject)
@@ -329,6 +501,37 @@ func applyEvent(f *fleet.Fleet, ev Event) error {
 		return f.StartTaskRun(taskRunConfig(ev.TaskRun))
 	case EvStopTaskRun:
 		f.StopTaskRun()
+		return nil
+	case EvInjectWALFault:
+		if env.fs == nil {
+			return fmt.Errorf("no lifecycle WAL to fault (fleet.lifecycle.wal: true required)")
+		}
+		switch ev.WALFault.Kind {
+		case "fail_write":
+			env.fs.FailWrites(ev.WALFault.Count)
+		case "torn_write":
+			env.fs.TornWrites(ev.WALFault.Count)
+		case "fail_sync":
+			env.fs.FailSyncs(ev.WALFault.Count)
+		case "fail_truncate":
+			env.fs.FailTruncates(ev.WALFault.Count)
+		case "enospc":
+			env.fs.SetENOSPC(true)
+		case "enospc_clear":
+			env.fs.SetENOSPC(false)
+		default:
+			return fmt.Errorf("unknown WAL fault kind %q", ev.WALFault.Kind)
+		}
+		return nil
+	case EvInjectNetFault:
+		if env.transport == nil {
+			return fmt.Errorf("no webhook transport to fault (fleet.lifecycle.notify: webhook required)")
+		}
+		k, err := chaos.NetFaultByName(ev.NetFault.Kind)
+		if err != nil {
+			return err
+		}
+		env.transport.Inject(k, ev.NetFault.Count)
 		return nil
 	}
 	return fmt.Errorf("unknown event kind %q", ev.Kind)

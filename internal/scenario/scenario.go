@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 )
@@ -80,11 +81,38 @@ type FleetDef struct {
 }
 
 // LifecycleDef is the machine-lifecycle control-plane section; it maps
-// onto fleet.LifecycleConfig.
+// onto fleet.LifecycleConfig and fleet.RemediateConfig.
 type LifecycleDef struct {
 	Enabled       bool
 	MaxRepairs    *int
 	ProbationDays *int
+
+	// WAL persists the ledger to a run-private write-ahead log opened
+	// through the chaos fault seam. Required by inject_wal_fault events;
+	// the runner checks replay-equality (replayed ledger == live ledger)
+	// at end of run as an implicit invariant.
+	WAL bool
+	// Pools declares capacity pools with serving floors; machines stripe
+	// across them round-robin.
+	Pools []PoolDef
+	// Policy names the remediation policy: default, escalating, or swap.
+	Policy               string
+	ScoreThreshold       *float64
+	MaxRetests           *int
+	RepairTicketsPerPool *int
+	// Notify hangs a notifier off the ledger: "log" (line sink) or
+	// "webhook" (in-process collector behind the chaos transport, enabling
+	// inject_network_fault events and the notify_* assert quantities).
+	Notify string
+}
+
+// PoolDef is one capacity pool: the effective serving floor is
+// max(min_healthy_count, ceil(min_healthy × members)).
+type PoolDef struct {
+	Name            string
+	MinHealthy      *float64
+	MinHealthyCount *int
+	Line            int
 }
 
 // PolicyDef is the quarantine policy section.
@@ -150,12 +178,15 @@ const (
 	EvStopKVLoad        = "stop_kv_load"
 	EvStartTaskRun      = "start_taskrun"
 	EvStopTaskRun       = "stop_taskrun"
+	EvInjectWALFault    = "inject_wal_fault"
+	EvInjectNetFault    = "inject_network_fault"
 )
 
 var eventKinds = []string{
 	EvInjectDefect, EvDrainMachine, EvUndrainMachine, EvCordonMachine,
 	EvReleaseMachine, EvSetOperatingPoint,
 	EvStartKVLoad, EvStopKVLoad, EvStartTaskRun, EvStopTaskRun,
+	EvInjectWALFault, EvInjectNetFault,
 }
 
 // Event is one timed action, applied serially before the Step of Day.
@@ -164,11 +195,37 @@ type Event struct {
 	Line int
 	Kind string
 
-	Inject  *InjectDef  // inject_defect
-	Machine string      // drain/undrain/cordon/release_machine
-	Point   *PointDef   // set_operating_point
-	KV      *KVDef      // start_kv_load
-	TaskRun *TaskRunDef // start_taskrun
+	Inject   *InjectDef   // inject_defect
+	Machine  string       // drain/undrain/cordon/release_machine
+	Point    *PointDef    // set_operating_point
+	KV       *KVDef       // start_kv_load
+	TaskRun  *TaskRunDef  // start_taskrun
+	WALFault *WALFaultDef // inject_wal_fault
+	NetFault *NetFaultDef // inject_network_fault
+}
+
+// WALFaultDef arms the chaos filesystem under the lifecycle WAL: the next
+// Count operations of the named kind fail deterministically.
+type WALFaultDef struct {
+	// Kind is fail_write, torn_write, fail_sync, fail_truncate, enospc,
+	// or enospc_clear (the sticky disk-full toggle ignores Count).
+	Kind  string
+	Count int
+}
+
+// walFaultKinds is the inject_wal_fault vocabulary.
+var walFaultKinds = []string{
+	"fail_write", "torn_write", "fail_sync", "fail_truncate",
+	"enospc", "enospc_clear",
+}
+
+// NetFaultDef queues Count faults of the named kind on the chaos
+// transport under the webhook notifier.
+type NetFaultDef struct {
+	// Kind is drop, reset, http500, http503, or delay
+	// (chaos.NetFaultByName).
+	Kind  string
+	Count int
 }
 
 // InjectDef materializes a new defective core mid-run — either sampled
@@ -447,6 +504,22 @@ func (d *decoder) scenario(root *node) *Scenario {
 			break
 		}
 	}
+	if lc := s.Fleet.Lifecycle; lc != nil && !lc.Enabled &&
+		(lc.WAL || len(lc.Pools) > 0 || lc.Policy != "" || lc.Notify != "") {
+		d.errf(m.keyLine("fleet"), "fleet.lifecycle options (wal, pools, policy, notify) require enabled: true")
+	}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EvInjectWALFault:
+			if lc := s.Fleet.Lifecycle; lc == nil || !lc.Enabled || !lc.WAL {
+				d.errf(ev.Line, "inject_wal_fault requires fleet.lifecycle.wal: true")
+			}
+		case EvInjectNetFault:
+			if lc := s.Fleet.Lifecycle; lc == nil || !lc.Enabled || lc.Notify != "webhook" {
+				d.errf(ev.Line, "inject_network_fault requires fleet.lifecycle.notify: webhook")
+			}
+		}
+	}
 	for _, ms := range s.Assert.MachineStates {
 		if idx, err := parseMachineID(ms.Machine); err == nil &&
 			s.Fleet.Machines > 0 && idx >= s.Fleet.Machines {
@@ -498,20 +571,7 @@ func (d *decoder) fleetDef(m *node) FleetDef {
 	}
 	if ln := m.child("lifecycle"); ln != nil {
 		if lm := d.asMap(ln, "fleet.lifecycle"); lm != nil {
-			d.known(lm, "fleet.lifecycle", "enabled", "max_repairs", "probation_days")
-			lc := &LifecycleDef{}
-			if v, ok := d.boolVal(lm, "enabled", "fleet.lifecycle"); ok {
-				lc.Enabled = v
-			}
-			lc.MaxRepairs = d.optInt(lm, "max_repairs", "fleet.lifecycle")
-			lc.ProbationDays = d.optInt(lm, "probation_days", "fleet.lifecycle")
-			if lc.MaxRepairs != nil && *lc.MaxRepairs < 0 {
-				d.errf(lm.keyLine("max_repairs"), "fleet.lifecycle.max_repairs must be >= 0")
-			}
-			if lc.ProbationDays != nil && *lc.ProbationDays < 0 {
-				d.errf(lm.keyLine("probation_days"), "fleet.lifecycle.probation_days must be >= 0")
-			}
-			f.Lifecycle = lc
+			f.Lifecycle = d.lifecycleDef(lm)
 		}
 	}
 	if cn := m.child("confession"); cn != nil {
@@ -572,6 +632,88 @@ func (d *decoder) policyDef(m *node) *PolicyDef {
 	p.RequireConfession = d.optBool(m, "require_confession", "policy")
 	p.DeclineRetryDays = d.optFloat(m, "decline_retry_days", "policy")
 	return p
+}
+
+var remediationPolicies = map[string]bool{"default": true, "escalating": true, "swap": true}
+
+func (d *decoder) lifecycleDef(lm *node) *LifecycleDef {
+	d.known(lm, "fleet.lifecycle", "enabled", "max_repairs", "probation_days",
+		"wal", "pools", "policy", "score_threshold", "max_retests",
+		"repair_tickets_per_pool", "notify")
+	lc := &LifecycleDef{}
+	if v, ok := d.boolVal(lm, "enabled", "fleet.lifecycle"); ok {
+		lc.Enabled = v
+	}
+	lc.MaxRepairs = d.optInt(lm, "max_repairs", "fleet.lifecycle")
+	lc.ProbationDays = d.optInt(lm, "probation_days", "fleet.lifecycle")
+	if lc.MaxRepairs != nil && *lc.MaxRepairs < 0 {
+		d.errf(lm.keyLine("max_repairs"), "fleet.lifecycle.max_repairs must be >= 0")
+	}
+	if lc.ProbationDays != nil && *lc.ProbationDays < 0 {
+		d.errf(lm.keyLine("probation_days"), "fleet.lifecycle.probation_days must be >= 0")
+	}
+	if v, ok := d.boolVal(lm, "wal", "fleet.lifecycle"); ok {
+		lc.WAL = v
+	}
+	if v, ok := d.str(lm, "policy", "fleet.lifecycle"); ok {
+		if !remediationPolicies[v] {
+			d.errf(lm.keyLine("policy"), "fleet.lifecycle.policy %q unknown (default, escalating, swap)", v)
+		}
+		lc.Policy = v
+	}
+	lc.ScoreThreshold = d.optFloat(lm, "score_threshold", "fleet.lifecycle")
+	lc.MaxRetests = d.optInt(lm, "max_retests", "fleet.lifecycle")
+	lc.RepairTicketsPerPool = d.optInt(lm, "repair_tickets_per_pool", "fleet.lifecycle")
+	if lc.ScoreThreshold != nil && *lc.ScoreThreshold < 0 {
+		d.errf(lm.keyLine("score_threshold"), "fleet.lifecycle.score_threshold must be >= 0")
+	}
+	if lc.MaxRetests != nil && *lc.MaxRetests < 0 {
+		d.errf(lm.keyLine("max_retests"), "fleet.lifecycle.max_retests must be >= 0")
+	}
+	if lc.RepairTicketsPerPool != nil && *lc.RepairTicketsPerPool < 0 {
+		d.errf(lm.keyLine("repair_tickets_per_pool"), "fleet.lifecycle.repair_tickets_per_pool must be >= 0")
+	}
+	if v, ok := d.str(lm, "notify", "fleet.lifecycle"); ok {
+		if v != "log" && v != "webhook" {
+			d.errf(lm.keyLine("notify"), "fleet.lifecycle.notify %q unknown (log, webhook)", v)
+		}
+		lc.Notify = v
+	}
+	if pn := lm.child("pools"); pn != nil {
+		if pn.kind != nSeq {
+			d.errf(pn.line, "fleet.lifecycle.pools must be a sequence")
+		} else {
+			seen := map[string]bool{}
+			for _, item := range pn.items {
+				pm := d.asMap(item, "fleet.lifecycle.pools entry")
+				if pm == nil {
+					continue
+				}
+				d.known(pm, "fleet.lifecycle.pools entry", "name", "min_healthy", "min_healthy_count")
+				p := PoolDef{Line: pm.line}
+				p.Name, _ = d.str(pm, "name", "pool")
+				if p.Name == "" {
+					d.errf(pm.line, "pool.name is required")
+				} else if seen[p.Name] {
+					d.errf(pm.line, "duplicate pool %q", p.Name)
+				}
+				seen[p.Name] = true
+				p.MinHealthy = d.optFloat(pm, "min_healthy", "pool")
+				p.MinHealthyCount = d.optInt(pm, "min_healthy_count", "pool")
+				if p.MinHealthy != nil && (*p.MinHealthy <= 0 || *p.MinHealthy > 1) {
+					d.errf(pm.keyLine("min_healthy"), "pool.min_healthy must be in (0, 1]")
+				}
+				if p.MinHealthyCount != nil && *p.MinHealthyCount < 0 {
+					d.errf(pm.keyLine("min_healthy_count"), "pool.min_healthy_count must be >= 0")
+				}
+				if p.MinHealthy == nil && p.MinHealthyCount == nil {
+					d.errf(pm.line, "pool %q needs min_healthy and/or min_healthy_count", p.Name)
+				}
+				lc.Pools = append(lc.Pools, p)
+			}
+		}
+	}
+	return lc
 }
 
 func (d *decoder) workloads(m *node) Workloads {
@@ -690,6 +832,45 @@ func (d *decoder) event(n *node, s *Scenario) (Event, bool) {
 	case EvStopKVLoad, EvStopTaskRun:
 		if bm := d.asMap(body, ev.Kind); bm != nil {
 			d.known(bm, ev.Kind) // no parameters
+		}
+	case EvInjectWALFault:
+		if bm := d.asMap(body, ev.Kind); bm != nil {
+			d.known(bm, ev.Kind, "kind", "count")
+			w := &WALFaultDef{Count: 1}
+			w.Kind, _ = d.str(bm, "kind", ev.Kind)
+			known := false
+			for _, k := range walFaultKinds {
+				if w.Kind == k {
+					known = true
+				}
+			}
+			if !known {
+				d.errf(bm.keyLine("kind"), "inject_wal_fault.kind %q unknown (have %s)",
+					w.Kind, strings.Join(walFaultKinds, ", "))
+			}
+			if v, ok := d.intVal(bm, "count", ev.Kind); ok {
+				w.Count = int(v)
+			}
+			if w.Count <= 0 {
+				d.errf(bm.keyLine("count"), "inject_wal_fault.count must be a positive integer")
+			}
+			ev.WALFault = w
+		}
+	case EvInjectNetFault:
+		if bm := d.asMap(body, ev.Kind); bm != nil {
+			d.known(bm, ev.Kind, "kind", "count")
+			nf := &NetFaultDef{Count: 1}
+			nf.Kind, _ = d.str(bm, "kind", ev.Kind)
+			if _, err := chaos.NetFaultByName(nf.Kind); err != nil {
+				d.errf(bm.keyLine("kind"), "inject_network_fault.kind: %v", err)
+			}
+			if v, ok := d.intVal(bm, "count", ev.Kind); ok {
+				nf.Count = int(v)
+			}
+			if nf.Count <= 0 {
+				d.errf(bm.keyLine("count"), "inject_network_fault.count must be a positive integer")
+			}
+			ev.NetFault = nf
 		}
 	}
 	return ev, true

@@ -154,3 +154,80 @@ assert:
 		t.Errorf("compiled: %+v", cfg)
 	}
 }
+
+// TestDecodePoolsAndChaos round-trips the pools / remediation / chaos
+// surface of the schema into the typed model and the compiled fleet
+// config.
+func TestDecodePoolsAndChaos(t *testing.T) {
+	src := `
+name: pc
+days: 9
+fleet:
+  machines: 12
+  cores_per_machine: 4
+  defects_per_machine: 0
+  lifecycle:
+    enabled: true
+    wal: true
+    policy: swap
+    repair_tickets_per_pool: 2
+    notify: webhook
+    pools:
+      - name: web
+        min_healthy: 0.75
+      - name: db
+        min_healthy_count: 3
+events:
+  - day: 2
+    inject_wal_fault:
+      kind: torn_write
+  - day: 3
+    inject_network_fault:
+      kind: drop
+      count: 2
+assert:
+  wal_faults: 1
+  net_faults: 2
+`
+	s, err := Parse("pc.yaml", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := s.Fleet.Lifecycle
+	if lc == nil || !lc.Enabled || !lc.WAL || lc.Policy != "swap" || lc.Notify != "webhook" {
+		t.Fatalf("lifecycle: %+v", lc)
+	}
+	if lc.RepairTicketsPerPool == nil || *lc.RepairTicketsPerPool != 2 {
+		t.Fatalf("repair tickets: %+v", lc.RepairTicketsPerPool)
+	}
+	if len(lc.Pools) != 2 || lc.Pools[0].Name != "web" || lc.Pools[1].Name != "db" {
+		t.Fatalf("pools: %+v", lc.Pools)
+	}
+	if lc.Pools[0].MinHealthy == nil || *lc.Pools[0].MinHealthy != 0.75 {
+		t.Fatalf("pool web: %+v", lc.Pools[0])
+	}
+	if lc.Pools[1].MinHealthyCount == nil || *lc.Pools[1].MinHealthyCount != 3 {
+		t.Fatalf("pool db: %+v", lc.Pools[1])
+	}
+	if len(s.Events) != 2 {
+		t.Fatalf("events: %+v", s.Events)
+	}
+	wf := s.Events[0].WALFault
+	if s.Events[0].Kind != EvInjectWALFault || wf == nil || wf.Kind != "torn_write" || wf.Count != 1 {
+		t.Fatalf("wal fault event: %+v %+v", s.Events[0], wf)
+	}
+	nf := s.Events[1].NetFault
+	if s.Events[1].Kind != EvInjectNetFault || nf == nil || nf.Kind != "drop" || nf.Count != 2 {
+		t.Fatalf("net fault event: %+v %+v", s.Events[1], nf)
+	}
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Lifecycle.Pools) != 2 || cfg.Lifecycle.Pools[1].MinHealthyCount != 3 {
+		t.Fatalf("compiled pools: %+v", cfg.Lifecycle.Pools)
+	}
+	if cfg.Remediate.Policy != "swap" || cfg.Remediate.RepairTicketsPerPool != 2 {
+		t.Fatalf("compiled remediation: %+v", cfg.Remediate)
+	}
+}
